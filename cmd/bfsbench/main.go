@@ -1,0 +1,97 @@
+// Command bfsbench regenerates the tables and figures of the SC'10
+// paper "Scalable Graph Exploration on Multicore Processors".
+//
+// Each experiment prints the same rows/series the paper reports, from
+// two sources:
+//
+//   - simulated: the calibrated Nehalem machine model run at the
+//     paper's full scale (up to 200M vertices / 1B edges);
+//   - measured: the real concurrent library run on this host at a
+//     host-appropriate scale (the paper's testbed had 64 hardware
+//     threads and 256 GB of memory; this host typically does not).
+//
+// Usage:
+//
+//	bfsbench -experiment fig6a            # one experiment
+//	bfsbench -experiment all              # everything
+//	bfsbench -experiment fig8b -mode sim  # simulated only
+//	bfsbench -list                        # list experiment ids
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-reproduced results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment id (fig2..fig10, table1..table3, all)")
+		mode  = flag.String("mode", "both", "sim | measured | both")
+		scale = flag.Int("scale", 20, "log2 of the vertex count for measured runs")
+		seed  = flag.Uint64("seed", 42, "workload seed for measured runs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		short = flag.Bool("short", false, "shrink measured runs (CI-friendly)")
+	)
+	flag.Parse()
+
+	cfg := harnessConfig{
+		Mode:  *mode,
+		Scale: *scale,
+		Seed:  *seed,
+		Short: *short,
+	}
+	if cfg.Mode != "sim" && cfg.Mode != "measured" && cfg.Mode != "both" {
+		fmt.Fprintf(os.Stderr, "bfsbench: unknown mode %q\n", cfg.Mode)
+		os.Exit(2)
+	}
+
+	if *list {
+		ids := make([]string, 0, len(experiments))
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-8s %s\n", id, experiments[id].title)
+		}
+		return
+	}
+
+	if *expID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *expID == "all" {
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "bfsbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		e := experiments[id]
+		fmt.Printf("== %s — %s ==\n", id, e.title)
+		if err := e.run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: generate a graph, run a parallel BFS, inspect the result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"mcbfs"
+)
+
+func main() {
+	// A uniformly random graph: 1M vertices, out-degree 16 — the
+	// paper's basic workload, scaled to run anywhere in a second.
+	g, err := mcbfs.UniformGraph(1<<20, 16, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges (%d MB in CSR form)\n",
+		g.NumVertices(), g.NumEdges(), g.MemoryFootprint()>>20)
+
+	// The zero Options picks the algorithm tier automatically:
+	// sequential for one thread, the bitmap algorithm within a socket,
+	// the channel algorithm across sockets.
+	res, err := mcbfs.BFS(g, 0, mcbfs.Options{Threads: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFS from vertex 0 using the %v algorithm on %d threads:\n",
+		res.Algorithm, res.Threads)
+	fmt.Printf("  reached   %d vertices in %d levels\n", res.Reached, res.Levels)
+	fmt.Printf("  traversed %d edges in %v\n", res.EdgesTraversed, res.Duration)
+	fmt.Printf("  rate      %s\n", mcbfs.FormatRate(res.EdgesPerSecond()))
+
+	// The result is a breadth-first tree: Parents[v] is v's parent, and
+	// TreeDepths recovers each vertex's distance from the root.
+	depths := mcbfs.TreeDepths(res.Parents, 0)
+	histogram := map[int32]int{}
+	for _, d := range depths {
+		if d != mcbfs.NoDepth {
+			histogram[d]++
+		}
+	}
+	fmt.Println("  vertices per BFS level:")
+	for d := int32(0); int(d) < res.Levels; d++ {
+		fmt.Printf("    level %d: %d\n", d, histogram[d])
+	}
+
+	// Validation re-derives distances independently; use it in tests and
+	// whenever correctness matters more than the microseconds it costs.
+	if err := mcbfs.ValidateTree(g, 0, res.Parents); err != nil {
+		log.Fatalf("invalid tree: %v", err)
+	}
+	fmt.Println("  tree validated")
+}

@@ -1,0 +1,85 @@
+// Shortest paths in a semantic graph — the paper's motivating use
+// case: "in the analysis of semantic graphs the relationship between
+// two vertices is expressed by the properties of the shortest path
+// between them, given by a BFS search".
+//
+// The example builds a clustered SSCA#2-style graph (communities of
+// densely related entities with sparse cross-links), picks entity
+// pairs, and uses one BFS per source to answer st-connectivity and
+// recover the actual shortest paths from the parent array.
+//
+// Run with:
+//
+//	go run ./examples/stconnectivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcbfs"
+)
+
+func main() {
+	// Communities of up to 12 entities, 30% of entities with a
+	// cross-community relation.
+	g, err := mcbfs.SSCA2Graph(200_000, 12, 0.3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic graph: %d entities, %d relations\n", g.NumVertices(), g.NumEdges())
+
+	pairs := [][2]mcbfs.Vertex{
+		{0, 199_999},
+		{5, 100_000},
+		{42, 43},
+		{77_777, 12},
+	}
+
+	for _, pair := range pairs {
+		s, t := pair[0], pair[1]
+		res, err := mcbfs.BFS(g, s, mcbfs.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Parents[t] == mcbfs.NoParent {
+			fmt.Printf("%d -> %d: NOT CONNECTED\n", s, t)
+			continue
+		}
+		path := recoverPath(res.Parents, s, t)
+		fmt.Printf("%d -> %d: distance %d, path %v\n", s, t, len(path)-1, path)
+
+		// The BFS tree guarantees this is a *shortest* path; double-check
+		// each hop is a real relation.
+		for i := 0; i+1 < len(path); i++ {
+			if !hasEdge(g, path[i], path[i+1]) {
+				log.Fatalf("path hop %d->%d is not an edge", path[i], path[i+1])
+			}
+		}
+	}
+}
+
+// recoverPath walks the parent array from t back to s.
+func recoverPath(parents []uint32, s, t mcbfs.Vertex) []mcbfs.Vertex {
+	var rev []mcbfs.Vertex
+	for v := t; ; v = parents[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	path := make([]mcbfs.Vertex, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+func hasEdge(g *mcbfs.Graph, u, v mcbfs.Vertex) bool {
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module mcbfs
+
+go 1.23

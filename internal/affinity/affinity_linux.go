@@ -1,0 +1,111 @@
+//go:build linux
+
+// Package affinity provides best-effort CPU pinning for worker
+// goroutines — the paper's "thread and memory affinity libraries"
+// brought as close as Go allows.
+//
+// The paper pins one pthread per hardware thread so that the per-socket
+// data partitioning of Algorithm 3 coincides with physical sockets. Go
+// schedules goroutines over OS threads freely, but a goroutine can (1)
+// lock itself to its OS thread and (2) on Linux, bind that thread to a
+// CPU set with sched_setaffinity. Together these give the paper's
+// placement discipline whenever the host exposes multiple CPUs.
+//
+// NUMA *memory* placement (the other half of the paper's affinity
+// story) has no portable user-space control in Go; first-touch applies,
+// and the multi-socket algorithm's partitioned writes mean each
+// socket's workers touch their own partition first, which is the
+// first-touch-friendly order.
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether CPU pinning works on this platform.
+func Supported() bool { return true }
+
+// cpuSet mirrors the kernel's cpu_set_t for up to 1024 CPUs.
+type cpuSet [16]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < len(s)*64 {
+		s[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+}
+
+// PinToCPU locks the calling goroutine to its OS thread and binds that
+// thread to the given CPU (modulo the machine's CPU count). It returns
+// an unpin function that releases the thread back to the scheduler and
+// restores a full CPU mask; callers should defer it.
+//
+// Errors are returned rather than fatal: pinning is a performance
+// refinement, and callers fall back to unpinned execution.
+func PinToCPU(cpu int) (unpin func(), err error) {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	cpu = ((cpu % n) + n) % n
+
+	runtime.LockOSThread()
+	var mask cpuSet
+	mask.set(cpu)
+	if err := schedSetaffinity(0, &mask); err != nil {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: pinning to cpu %d: %w", cpu, err)
+	}
+	return func() {
+		// Restore permission to run anywhere before unlocking, so the
+		// thread returned to the pool is not still pinned.
+		var all cpuSet
+		for c := 0; c < n && c < len(all)*64; c++ {
+			all.set(c)
+		}
+		_ = schedSetaffinity(0, &all)
+		runtime.UnlockOSThread()
+	}, nil
+}
+
+// schedSetaffinity wraps the raw Linux syscall; pid 0 means the calling
+// thread.
+func schedSetaffinity(pid int, mask *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		uintptr(pid),
+		uintptr(unsafe.Sizeof(*mask)),
+		uintptr(unsafe.Pointer(mask)),
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// AllowedCPUs returns the CPUs the calling thread may run on, read
+// back with sched_getaffinity. Useful for verifying pinning in tests;
+// returns nil if the kernel call fails.
+func AllowedCPUs() []int {
+	var mask cpuSet
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_GETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(mask)),
+		uintptr(unsafe.Pointer(&mask)),
+	)
+	if errno != 0 {
+		return nil
+	}
+	var cpus []int
+	for i, word := range mask {
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				cpus = append(cpus, i*64+b)
+			}
+		}
+	}
+	return cpus
+}

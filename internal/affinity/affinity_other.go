@@ -1,0 +1,17 @@
+//go:build !linux
+
+package affinity
+
+import "errors"
+
+// Supported reports whether CPU pinning works on this platform.
+func Supported() bool { return false }
+
+// PinToCPU is unavailable off Linux; callers fall back to unpinned
+// execution.
+func PinToCPU(cpu int) (func(), error) {
+	return nil, errors.New("affinity: CPU pinning is only implemented on linux")
+}
+
+// AllowedCPUs is unavailable off Linux.
+func AllowedCPUs() []int { return nil }

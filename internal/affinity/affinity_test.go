@@ -1,0 +1,79 @@
+package affinity
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPinToCPURestrictsMask(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning not supported on this platform")
+	}
+	unpin, err := PinToCPU(0)
+	if err != nil {
+		t.Fatalf("PinToCPU(0): %v", err)
+	}
+	cpus := AllowedCPUs()
+	unpin()
+	if len(cpus) != 1 || cpus[0] != 0 {
+		t.Errorf("pinned mask = %v, want [0]", cpus)
+	}
+}
+
+func TestUnpinRestoresMask(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning not supported on this platform")
+	}
+	unpin, err := PinToCPU(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpin()
+	// The thread that ran unpin got a full mask; verify on a fresh
+	// locked thread that the mask covers every CPU.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	cpus := AllowedCPUs()
+	if len(cpus) < runtime.NumCPU() {
+		t.Errorf("mask after unpin covers %d CPUs, host has %d", len(cpus), runtime.NumCPU())
+	}
+}
+
+func TestPinToCPUWrapsIndex(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning not supported on this platform")
+	}
+	// Worker indexes beyond NumCPU must wrap, not fail.
+	for _, idx := range []int{runtime.NumCPU(), 3*runtime.NumCPU() + 1, -1} {
+		unpin, err := PinToCPU(idx)
+		if err != nil {
+			t.Errorf("PinToCPU(%d): %v", idx, err)
+			continue
+		}
+		unpin()
+	}
+}
+
+func TestPinManyGoroutines(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning not supported on this platform")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			unpin, err := PinToCPU(w)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			defer unpin()
+			if cpus := AllowedCPUs(); len(cpus) != 1 {
+				t.Errorf("worker %d mask = %v, want a single CPU", w, cpus)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,304 @@
+package bitmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllZero(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i++ {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count = %d, want 0", b.Count())
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestNewAtomicPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAtomic(-1) did not panic")
+		}
+	}()
+	NewAtomic(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetDoesNotDisturbNeighbours(t *testing.T) {
+	b := New(192)
+	b.Set(64)
+	for i := 0; i < 192; i++ {
+		if got := b.Get(i); got != (i == 64) {
+			t.Errorf("bit %d = %v after Set(64)", i, got)
+		}
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(100)
+	if b.TestAndSet(42) {
+		t.Error("TestAndSet on clear bit returned true")
+	}
+	if !b.TestAndSet(42) {
+		t.Error("TestAndSet on set bit returned false")
+	}
+	if !b.Get(42) {
+		t.Error("bit not set after TestAndSet")
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(1000)
+	idx := []int{0, 5, 63, 64, 500, 999}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	if got := b.Count(); got != len(idx) {
+		t.Errorf("Count = %d, want %d", got, len(idx))
+	}
+	b.Set(0) // setting twice must not double-count
+	if got := b.Count(); got != len(idx) {
+		t.Errorf("Count after duplicate Set = %d, want %d", got, len(idx))
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d, want 0", b.Count())
+	}
+}
+
+func TestLenAndBytes(t *testing.T) {
+	cases := []struct{ n, words int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		b := New(c.n)
+		if b.Len() != c.n {
+			t.Errorf("New(%d).Len() = %d", c.n, b.Len())
+		}
+		if b.Bytes() != c.words*8 {
+			t.Errorf("New(%d).Bytes() = %d, want %d", c.n, b.Bytes(), c.words*8)
+		}
+	}
+}
+
+func TestWorkingSetClaim(t *testing.T) {
+	// Paper: "in 4MB we can store all the visit information for a graph
+	// with 32 million vertices".
+	b := New(32 << 20)
+	if b.Bytes() != 4<<20 {
+		t.Errorf("32M-vertex bitmap occupies %d bytes, want %d", b.Bytes(), 4<<20)
+	}
+}
+
+func TestAtomicSetGet(t *testing.T) {
+	a := NewAtomic(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if a.Get(i) {
+			t.Errorf("bit %d set in fresh atomic bitmap", i)
+		}
+		a.Set(i)
+		if !a.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	a := NewAtomic(100)
+	if a.TestAndSet(7) {
+		t.Error("TestAndSet on clear bit returned true")
+	}
+	if !a.TestAndSet(7) {
+		t.Error("TestAndSet on set bit returned false")
+	}
+}
+
+func TestAtomicReset(t *testing.T) {
+	a := NewAtomic(256)
+	for i := 0; i < 256; i += 7 {
+		a.Set(i)
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Errorf("Count after Reset = %d", a.Count())
+	}
+}
+
+// TestAtomicTestAndSetExactlyOneWinner is the invariant the BFS relies on:
+// when many goroutines race to claim the same vertex, exactly one observes
+// "previously unset".
+func TestAtomicTestAndSetExactlyOneWinner(t *testing.T) {
+	const goroutines = 16
+	const bits = 512
+	a := NewAtomic(bits)
+	wins := make([]int, goroutines)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < bits; i++ {
+				if !a.TestAndSet(i) {
+					wins[g]++
+				}
+			}
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != bits {
+		t.Errorf("total wins = %d, want exactly %d (one winner per bit)", total, bits)
+	}
+	if a.Count() != bits {
+		t.Errorf("Count = %d, want %d", a.Count(), bits)
+	}
+}
+
+func TestAtomicConcurrentDisjointSets(t *testing.T) {
+	const goroutines = 8
+	const per = 1000
+	a := NewAtomic(goroutines * per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * per; i < (g+1)*per; i++ {
+				a.Set(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Count() != goroutines*per {
+		t.Errorf("Count = %d, want %d", a.Count(), goroutines*per)
+	}
+}
+
+func TestQuickBitmapMatchesMapModel(t *testing.T) {
+	// Property: a Bitmap behaves like a set of ints.
+	f := func(ops []uint16) bool {
+		const n = 1 << 12
+		b := New(n)
+		model := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op) % n
+			switch op % 3 {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Get(i) != model[i] {
+					return false
+				}
+			}
+		}
+		return b.Count() == len(model)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTestAndSetIdempotent(t *testing.T) {
+	f := func(idx []uint16) bool {
+		const n = 1 << 12
+		a := NewAtomic(n)
+		for _, raw := range idx {
+			i := int(raw) % n
+			first := a.TestAndSet(i)
+			second := a.TestAndSet(i)
+			_ = first
+			if !second { // second call must always see the bit set
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBitmapGet(b *testing.B) {
+	bm := New(32 << 20)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = bm.Get((i * 2654435761) & (32<<20 - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkAtomicGet(b *testing.B) {
+	bm := NewAtomic(32 << 20)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = bm.Get((i * 2654435761) & (32<<20 - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	bm := NewAtomic(32 << 20)
+	for i := 0; i < b.N; i++ {
+		bm.TestAndSet((i * 2654435761) & (32<<20 - 1))
+	}
+}
+
+// BenchmarkAtomicDoubleChecked quantifies the paper's Fig. 4 idiom: on a
+// mostly-set bitmap, a plain probe before the atomic op avoids the locked
+// instruction almost always.
+func BenchmarkAtomicDoubleChecked(b *testing.B) {
+	bm := NewAtomic(1 << 20)
+	for i := 0; i < 1<<20; i++ {
+		bm.Set(i)
+	}
+	for i := 0; i < b.N; i++ {
+		v := (i * 2654435761) & (1<<20 - 1)
+		if !bm.Get(v) {
+			bm.TestAndSet(v)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "sync"
+
+// barrier is a reusable synchronization barrier for a fixed party count.
+// The level-synchronous BFS uses two barriers per phase transition: one
+// to finish the phase, one to publish the coordinator's decision
+// (termination, queue swap) made between them.
+//
+// It is condition-variable based rather than spinning: the logical
+// thread count of an experiment routinely exceeds the host's cores
+// (e.g. 64 "threads" of a simulated EX on a laptop), where spinning
+// would collapse.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for the current
+// generation. It reports true to exactly one caller per generation (the
+// last arriver), which parties can use to elect a coordinator.
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return false
+}

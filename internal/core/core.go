@@ -1,0 +1,267 @@
+// Package core implements the paper's contribution: level-synchronous
+// parallel breadth-first search for multicore shared-memory machines,
+// in the three refinement tiers of the SC'10 paper.
+//
+//   - AlgSequential: the textbook serial BFS, the baseline every
+//     parallel variant is judged against.
+//   - AlgParallelSimple (paper Algorithm 1): shared current/next queues,
+//     visitation claimed with an atomic compare-and-swap on the parent
+//     array.
+//   - AlgSingleSocket (paper Algorithm 2): adds the visited bitmap
+//     (shrinking the random working set ~8x versus the parent array) and
+//     the double-checked claim — a plain bitmap probe before the atomic
+//     read-and-set, which eliminates nearly all lock-prefixed operations
+//     in late levels (paper Fig. 4).
+//   - AlgMultiSocket (paper Algorithm 3): partitions graph, parent array
+//     and bitmap by socket; vertices discovered on a remote socket
+//     travel through batched FastForward+TicketLock channels and are
+//     processed by their owning socket in a second phase per level.
+//
+// The socket structure is logical, driven by a topology.Machine; on real
+// multi-socket hardware with one OS thread per worker it reproduces the
+// paper's locality story, and under any GOMAXPROCS it remains correct.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"mcbfs/internal/graph"
+	"mcbfs/internal/topology"
+)
+
+// NoParent marks an unvisited vertex in the parent array (the paper's
+// P[v] = ∞).
+const NoParent = ^uint32(0)
+
+// Algorithm selects a BFS implementation tier.
+type Algorithm int
+
+const (
+	// AlgAuto picks AlgSequential for 1 thread, AlgSingleSocket when the
+	// run fits one socket, and AlgMultiSocket otherwise — the paper's
+	// "best performing algorithm for each thread configuration".
+	AlgAuto Algorithm = iota
+	// AlgSequential is the serial baseline.
+	AlgSequential
+	// AlgParallelSimple is paper Algorithm 1.
+	AlgParallelSimple
+	// AlgSingleSocket is paper Algorithm 2.
+	AlgSingleSocket
+	// AlgMultiSocket is paper Algorithm 3.
+	AlgMultiSocket
+	// AlgDirectionOptimizing is the top-down/bottom-up hybrid — an
+	// extension beyond the paper (Beamer et al.'s direction-optimizing
+	// BFS) that eliminates atomics entirely in the dense middle levels.
+	// It needs in-edges: supply the transpose via Options.Transpose, or
+	// pass the graph itself for symmetric graphs; if absent it is
+	// computed once per call.
+	AlgDirectionOptimizing
+)
+
+// String returns the algorithm's short name as used in reports.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgSequential:
+		return "sequential"
+	case AlgParallelSimple:
+		return "parallel-simple"
+	case AlgSingleSocket:
+		return "single-socket"
+	case AlgMultiSocket:
+		return "multi-socket"
+	case AlgDirectionOptimizing:
+		return "direction-optimizing"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a BFS run. The zero value requests AlgAuto with
+// GOMAXPROCS workers on a single-socket logical machine.
+type Options struct {
+	// Algorithm selects the implementation tier; AlgAuto (zero) picks by
+	// thread count and machine shape.
+	Algorithm Algorithm
+	// Threads is the number of worker goroutines; 0 means
+	// runtime.GOMAXPROCS(0).
+	Threads int
+	// Machine is the logical topology used for partitioning and channel
+	// wiring. The zero value means a single socket holding all threads.
+	Machine topology.Machine
+	// BatchSize is the number of tuples buffered per destination socket
+	// before a channel send, and the receive buffer size (paper: batching
+	// amortizes the ticket lock to ~30 ns/vertex). 0 means 64.
+	BatchSize int
+	// ChunkSize is the number of vertices a worker claims from the
+	// current queue per atomic operation. 0 means 128.
+	ChunkSize int
+	// LocalBatch is the number of vertices buffered before a batched
+	// push to the local next queue. 0 means 64.
+	LocalBatch int
+	// DisableDoubleCheck forces the atomic read-and-set on every
+	// neighbour, skipping the plain bitmap probe. Ablation knob for the
+	// paper's Fig. 5 "impact of optimizations".
+	DisableDoubleCheck bool
+	// Instrument enables per-level counters (bitmap probes, atomic
+	// operations, frontier sizes, remote sends), the data behind the
+	// paper's Fig. 4. It costs a few percent of throughput.
+	Instrument bool
+	// Transpose supplies the in-edge graph for AlgDirectionOptimizing.
+	// Pass the graph itself when it is symmetric. When nil, the
+	// transpose is computed per call (O(n+m) time and memory).
+	Transpose *graph.Graph
+	// MaxLevels stops the search after exploring that many levels
+	// (level 0 is the root). 0 means unbounded. Depth-bounded
+	// neighbourhood extraction (e.g. SSCA#2 kernel 3) uses this.
+	MaxLevels int
+	// PinThreads locks each worker goroutine to its OS thread and binds
+	// that thread to CPU (worker index mod NumCPU) — the paper's thread
+	// affinity discipline, available on Linux. Linux enumerates the
+	// cores of socket 0 first, so the default mapping coincides with
+	// the paper's Table I placement on typical hosts. Pinning failures
+	// are ignored (the run proceeds unpinned).
+	PinThreads bool
+	// ProbeBatch enables software pipelining of the bitmap probes in
+	// the single-socket tier: neighbours are processed in blocks of
+	// this size, with all of a block's independent probe loads issued
+	// before any claim logic runs — the Go analogue of the paper's
+	// carefully placed _mm_prefetch intrinsics that keep multiple
+	// memory requests in flight (Fig. 2). 0 disables batching.
+	ProbeBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Machine.Sockets == 0 {
+		o.Machine = topology.Generic(1, o.Threads, 1)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 128
+	}
+	if o.LocalBatch <= 0 {
+		o.LocalBatch = 64
+	}
+	if o.Algorithm == AlgAuto {
+		switch {
+		case o.Threads == 1:
+			o.Algorithm = AlgSequential
+		case o.Machine.SocketsForThreads(o.Threads) == 1:
+			o.Algorithm = AlgSingleSocket
+		default:
+			o.Algorithm = AlgMultiSocket
+		}
+	}
+	return o
+}
+
+// LevelStats records one BFS level's instrumentation.
+type LevelStats struct {
+	// Frontier is the number of vertices expanded in this level.
+	Frontier int64
+	// Edges is the number of adjacency entries scanned.
+	Edges int64
+	// BitmapReads counts plain (non-atomic) bitmap probes.
+	BitmapReads int64
+	// AtomicOps counts atomic read-and-set operations attempted.
+	AtomicOps int64
+	// RemoteSends counts tuples sent over inter-socket channels.
+	RemoteSends int64
+	// Duration is the wall-clock time of the level, stamped by the
+	// level coordinator (and therefore inclusive of both phases and the
+	// barriers).
+	Duration time.Duration
+}
+
+// Result holds the output of a BFS run.
+type Result struct {
+	// Parents[v] is the BFS-tree parent of v, the root's parent is the
+	// root itself, and unreached vertices hold NoParent.
+	Parents []uint32
+	// Root is the source vertex of the search.
+	Root graph.Vertex
+	// Reached is the number of vertices in the BFS tree (including the
+	// root).
+	Reached int64
+	// EdgesTraversed is the paper's m_a: adjacency entries scanned
+	// during the search (each edge leaving a reached vertex, counted
+	// once).
+	EdgesTraversed int64
+	// Levels is the number of BFS levels, i.e. the eccentricity of the
+	// root within its component plus one.
+	Levels int
+	// Duration is the wall-clock time of the search proper (excluding
+	// allocation of the result arrays).
+	Duration time.Duration
+	// Algorithm is the tier that actually ran.
+	Algorithm Algorithm
+	// Threads is the worker count that actually ran.
+	Threads int
+	// PerLevel holds instrumentation when Options.Instrument was set.
+	PerLevel []LevelStats
+}
+
+// EdgesPerSecond returns the paper's headline metric: m_a divided by
+// the run's duration.
+func (r *Result) EdgesPerSecond() float64 {
+	s := r.Duration.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / s
+}
+
+// BFS explores g from root and returns the breadth-first tree. It is
+// the package's single entry point; Options selects the algorithm tier
+// and its tuning knobs.
+func BFS(g *graph.Graph, root graph.Vertex, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	n := g.NumVertices()
+	if int(root) >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, n)
+	}
+	o := opt.withDefaults()
+	if err := o.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	switch o.Algorithm {
+	case AlgSequential:
+		return sequentialBFS(g, root, o)
+	case AlgParallelSimple:
+		return parallelSimpleBFS(g, root, o)
+	case AlgSingleSocket:
+		return singleSocketBFS(g, root, o)
+	case AlgMultiSocket:
+		return multiSocketBFS(g, root, o)
+	case AlgDirectionOptimizing:
+		gt := o.Transpose
+		if gt == nil {
+			gt = g.Transpose()
+		} else if gt.NumVertices() != n || gt.NumEdges() != g.NumEdges() {
+			return nil, errors.New("core: Options.Transpose does not match the graph")
+		}
+		return directionOptBFS(g, gt, root, o)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	}
+}
+
+// newParents allocates a parent array initialized to NoParent.
+func newParents(n int) []uint32 {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = NoParent
+	}
+	return p
+}

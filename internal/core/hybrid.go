@@ -1,0 +1,238 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/affinity"
+	"mcbfs/internal/bitmap"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/queue"
+)
+
+// Direction-optimizing BFS: an extension beyond the paper (the idea was
+// published by Beamer et al. two years later and became the Graph500
+// standard), included here as the natural "future work" of the paper's
+// design. On power-law graphs the middle BFS levels contain most of the
+// graph; exploring them top-down scans almost every edge even though
+// almost every target is already visited. The bottom-up pass inverts
+// the roles: each *unvisited* vertex scans its in-neighbours for a
+// frontier member and claims itself on the first hit — with two
+// consequences the paper's cost model immediately appreciates:
+//
+//   - early exit: a vertex stops scanning at its first frontier parent,
+//     skipping the bulk of its in-edges in the dense levels;
+//   - no atomics at all: each vertex is examined by exactly one worker
+//     (vertices are range-partitioned), so the claim is a plain write —
+//     the logical conclusion of the paper's Fig. 3/4 war on
+//     lock-prefixed operations.
+//
+// The switch heuristic follows Beamer's alpha/beta rule on frontier
+// size. Because bottom-up scans in-edges with early exit, the
+// EdgesTraversed of a hybrid run counts the edges actually examined,
+// which is typically far below the m_a of a top-down run — that gap IS
+// the optimization.
+
+// hybridAlpha switches to bottom-up when the frontier exceeds
+// n/hybridAlpha vertices; hybridBeta switches back below n/hybridBeta.
+const (
+	hybridAlpha = 14
+	hybridBeta  = 24
+)
+
+// directionOptBFS runs the hybrid top-down/bottom-up search. gt must be
+// the transpose of g (or g itself for symmetric graphs).
+func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
+	n := g.NumVertices()
+	parents := newParents(n)
+	visited := bitmap.NewAtomic(n)
+	frontier := bitmap.New(n) // written only in the conversion phase, range-partitioned
+	cq := queue.NewChunkQueue(n)
+	nq := queue.NewChunkQueue(n)
+
+	workers := o.Threads
+	bar := newBarrier(workers)
+	var done atomic.Bool
+	var bottomUp atomic.Bool
+	edgeCounts := make([]int64, workers)
+	reachedCounts := make([]int64, workers)
+	levels := 0
+	var perLevel []LevelStats
+	collector := newStatsCollector(o.Instrument, workers)
+	levelStart := time.Now()
+
+	start := time.Now()
+	parents[root] = uint32(root)
+	visited.Set(int(root))
+	cq.Push(uint32(root))
+
+	// Range partition for the bottom-up pass and frontier-bitmap
+	// maintenance: worker w owns [lo(w), hi(w)). Boundaries are aligned
+	// to 64-vertex words because the frontier bitmap is mutated with
+	// plain read-modify-write operations; a word shared by two workers
+	// would lose updates.
+	words := (n + 63) / 64
+	lo := func(w int) int { return words * w / workers * 64 }
+	hi := func(w int) int {
+		h := words * (w + 1) / workers * 64
+		if h > n {
+			h = n
+		}
+		return h
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if o.PinThreads {
+				if unpin, err := affinity.PinToCPU(w); err == nil {
+					defer unpin()
+				}
+			}
+			local := make([]uint32, 0, o.LocalBatch)
+			flush := func() {
+				nq.PushBatch(local)
+				local = local[:0]
+			}
+			for {
+				var stats LevelStats
+				if bottomUp.Load() {
+					// Build the frontier bitmap: each worker sets the bits
+					// of its own vertex range from the shared CQ contents.
+					frontierVerts := cq.Slice()
+					myLo, myHi := lo(w), hi(w)
+					for _, v := range frontierVerts {
+						if int(v) >= myLo && int(v) < myHi {
+							frontier.Set(int(v))
+						}
+					}
+					bar.wait()
+
+					// Bottom-up sweep over this worker's unvisited range.
+					for v := myLo; v < myHi; v++ {
+						if visited.Get(v) {
+							continue
+						}
+						stats.BitmapReads++
+						for _, u := range gt.Neighbors(graph.Vertex(v)) {
+							edgeCounts[w]++
+							stats.Edges++
+							if frontier.Get(int(u)) {
+								// Sole owner of v: plain writes suffice.
+								visited.Set(v)
+								parents[v] = uint32(u)
+								reachedCounts[w]++
+								local = append(local, uint32(v))
+								if len(local) == cap(local) {
+									flush()
+								}
+								break
+							}
+						}
+					}
+					flush()
+
+					// Everyone must finish sweeping before anyone clears:
+					// a cleared bit would hide a frontier parent from a
+					// worker still scanning, deferring the discovery one
+					// level and corrupting BFS depths.
+					bar.wait()
+
+					// Clear this range's frontier bits for the next level.
+					for _, v := range frontierVerts {
+						if int(v) >= myLo && int(v) < myHi {
+							frontier.Clear(int(v))
+						}
+					}
+				} else {
+					// Top-down: identical to the single-socket algorithm.
+					for {
+						chunk := cq.PopChunk(o.ChunkSize)
+						if chunk == nil {
+							break
+						}
+						for _, u := range chunk {
+							nbrs := g.Neighbors(graph.Vertex(u))
+							edgeCounts[w] += int64(len(nbrs))
+							stats.Frontier++
+							stats.Edges += int64(len(nbrs))
+							for _, v := range nbrs {
+								if !o.DisableDoubleCheck {
+									stats.BitmapReads++
+									if visited.Get(int(v)) {
+										continue
+									}
+								}
+								stats.AtomicOps++
+								if !visited.TestAndSet(int(v)) {
+									parents[v] = u
+									reachedCounts[w]++
+									local = append(local, v)
+									if len(local) == cap(local) {
+										flush()
+									}
+								}
+							}
+						}
+					}
+					flush()
+				}
+				if bottomUp.Load() {
+					// In bottom-up mode the frontier counter reflects the
+					// vertices expanded, which is the previous level's CQ.
+					stats.Frontier = 0 // folded by the coordinator below
+				}
+				collector.add(w, stats)
+
+				if bar.wait() {
+					if bottomUp.Load() && o.Instrument {
+						// Attribute the frontier size to the level.
+						collector.slots[0].Frontier += int64(cq.Size())
+					}
+					collector.fold(&perLevel, time.Since(levelStart))
+					levelStart = time.Now()
+					cq.Reset()
+					cq, nq = nq, cq
+					levels++
+					f := cq.Size()
+					if f == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
+						done.Store(true)
+					} else if bottomUp.Load() {
+						if f < n/hybridBeta {
+							bottomUp.Store(false)
+						}
+					} else {
+						if f > n/hybridAlpha {
+							bottomUp.Store(true)
+						}
+					}
+				}
+				bar.wait()
+				if done.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var edges, reached int64
+	for w := 0; w < workers; w++ {
+		edges += edgeCounts[w]
+		reached += reachedCounts[w]
+	}
+	return &Result{
+		Parents:        parents,
+		Root:           root,
+		Reached:        reached + 1,
+		EdgesTraversed: edges,
+		Levels:         levels,
+		Duration:       time.Since(start),
+		Algorithm:      AlgDirectionOptimizing,
+		Threads:        workers,
+		PerLevel:       perLevel,
+	}, nil
+}

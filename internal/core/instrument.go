@@ -1,0 +1,54 @@
+package core
+
+import "time"
+
+// statsCollector gathers per-worker LevelStats without atomic traffic in
+// the hot loop: each worker deposits its level-local counts in its own
+// slot before the level barrier, and the barrier coordinator folds the
+// slots into the result between barriers (a window in which no worker
+// writes).
+type statsCollector struct {
+	enabled bool
+	slots   []LevelStats
+}
+
+func newStatsCollector(enabled bool, workers int) *statsCollector {
+	c := &statsCollector{enabled: enabled}
+	if enabled {
+		c.slots = make([]LevelStats, workers)
+	}
+	return c
+}
+
+// add deposits worker w's counts for the level in progress.
+func (c *statsCollector) add(w int, s LevelStats) {
+	if !c.enabled {
+		return
+	}
+	slot := &c.slots[w]
+	slot.Frontier += s.Frontier
+	slot.Edges += s.Edges
+	slot.BitmapReads += s.BitmapReads
+	slot.AtomicOps += s.AtomicOps
+	slot.RemoteSends += s.RemoteSends
+}
+
+// fold sums all worker slots into one LevelStats, stamps the level
+// duration, appends it to dst, and clears the slots for the next level.
+// Must be called while workers are parked between barriers.
+func (c *statsCollector) fold(dst *[]LevelStats, levelDur time.Duration) {
+	if !c.enabled {
+		return
+	}
+	total := LevelStats{Duration: levelDur}
+	for i := range c.slots {
+		s := &c.slots[i]
+		total.Frontier += s.Frontier
+		total.Edges += s.Edges
+		total.BitmapReads += s.BitmapReads
+		total.AtomicOps += s.AtomicOps
+		total.RemoteSends += s.RemoteSends
+		*s = LevelStats{}
+	}
+	*dst = append(*dst, total)
+}

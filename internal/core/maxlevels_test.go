@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+)
+
+func TestMaxLevelsBoundsDepthAllTiers(t *testing.T) {
+	g := must(gen.Chain(20))
+	for _, alg := range []Algorithm{
+		AlgSequential, AlgParallelSimple, AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing,
+	} {
+		for _, maxLevels := range []int{1, 3, 7} {
+			res := run(t, g, 0, Options{Algorithm: alg, Threads: 4, MaxLevels: maxLevels})
+			if res.Levels != maxLevels {
+				t.Errorf("%v max=%d: Levels = %d", alg, maxLevels, res.Levels)
+			}
+			// After exploring maxLevels levels of a chain, vertices
+			// 0..maxLevels are discovered (the last level's frontier was
+			// expanded, discovering depth maxLevels).
+			if res.Reached != int64(maxLevels)+1 {
+				t.Errorf("%v max=%d: Reached = %d, want %d", alg, maxLevels, res.Reached, maxLevels+1)
+			}
+			depths := TreeDepths(res.Parents, 0)
+			for v, d := range depths {
+				if d != NoDepth && int(d) > maxLevels {
+					t.Errorf("%v max=%d: vertex %d at depth %d exceeds bound", alg, maxLevels, v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLevelsLargerThanDiameterIsHarmless(t *testing.T) {
+	g := must(gen.Chain(5))
+	res := run(t, g, 0, Options{Algorithm: AlgSequential, MaxLevels: 100})
+	if res.Reached != 5 || res.Levels != 5 {
+		t.Errorf("Reached=%d Levels=%d", res.Reached, res.Levels)
+	}
+}
+
+func TestMaxLevelsZeroMeansUnbounded(t *testing.T) {
+	g := must(gen.BinaryTree(6))
+	res := run(t, g, 0, Options{Algorithm: AlgSingleSocket, Threads: 2, MaxLevels: 0})
+	if res.Reached != int64(g.NumVertices()) {
+		t.Errorf("Reached = %d, want all %d", res.Reached, g.NumVertices())
+	}
+}
+
+func TestMaxLevelsDiscoveredSetMatchesAcrossTiers(t *testing.T) {
+	g := must(gen.RMAT(11, 1<<14, gen.GTgraphDefaults, 77))
+	ref := run(t, g, 0, Options{Algorithm: AlgSequential, MaxLevels: 3})
+	refSet := reachedSet(ref.Parents)
+	for _, alg := range []Algorithm{AlgParallelSimple, AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing} {
+		res := run(t, g, 0, Options{Algorithm: alg, Threads: 8, MaxLevels: 3})
+		if got := reachedSet(res.Parents); !sameSet(got, refSet) {
+			t.Errorf("%v: depth-3 discovered set differs from sequential (%d vs %d vertices)",
+				alg, len(got), len(refSet))
+		}
+	}
+}
+
+func reachedSet(parents []uint32) map[graph.Vertex]bool {
+	s := make(map[graph.Vertex]bool)
+	for v, p := range parents {
+		if p != NoParent {
+			s[graph.Vertex(v)] = true
+		}
+	}
+	return s
+}
+
+func sameSet(a, b map[graph.Vertex]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}

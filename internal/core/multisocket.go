@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/affinity"
+	"mcbfs/internal/bitmap"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/queue"
+	"mcbfs/internal/topology"
+)
+
+// multiSocketBFS is the paper's Algorithm 3, the multi-socket tier.
+//
+// The graph's vertex range, the parent array and the visited bitmap are
+// partitioned into contiguous per-socket blocks (Algorithm 3 line 2).
+// A socket's threads only ever mutate their own block, so the atomic
+// traffic that Figure 3 shows collapsing across socket boundaries stays
+// socket-local. A vertex discovered by a thread of another socket is
+// not claimed remotely; instead the (vertex, parent) tuple travels
+// through that socket's channel — a FastForward queue with TicketLock
+// guarded ends — in batches that amortize the locking (lines 26,
+// 28-35).
+//
+// Each level runs in two phases separated by barriers:
+//
+//	phase 1: expand the local current queue; local discoveries are
+//	         claimed immediately, remote ones batched into channels;
+//	phase 2: drain the socket's own channel, claiming the delivered
+//	         tuples exactly as local ones.
+//
+// On the logical machine of this reproduction the "sockets" are
+// goroutine groups; the data partitioning, channel wiring and two-phase
+// schedule are identical to the paper's.
+func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
+	n := g.NumVertices()
+	workers := o.Threads
+	sockets := o.Machine.SocketsForThreads(workers)
+	part, err := topology.NewPartition(n, sockets)
+	if err != nil {
+		return nil, err
+	}
+
+	parents := newParents(n)
+	visited := bitmap.NewAtomic(n)
+
+	cqs := make([]*queue.ChunkQueue, sockets)
+	nqs := make([]*queue.ChunkQueue, sockets)
+	channels := make([]*queue.Channel, sockets)
+	for s := 0; s < sockets; s++ {
+		lo, hi := part.Range(s)
+		cap := hi - lo
+		if cap < 1 {
+			cap = 1
+		}
+		cqs[s] = queue.NewChunkQueue(cap)
+		nqs[s] = queue.NewChunkQueue(cap)
+		channels[s] = queue.NewChannel()
+	}
+
+	bar := newBarrier(workers)
+	var done atomic.Bool
+	edgeCounts := make([]int64, workers)
+	reachedCounts := make([]int64, workers)
+	levels := 0
+	var perLevel []LevelStats
+	collector := newStatsCollector(o.Instrument, workers)
+	levelStart := time.Now()
+
+	start := time.Now()
+	parents[root] = uint32(root)
+	visited.Set(int(root))
+	cqs[part.DetermineSocket(uint32(root))].Push(uint32(root))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if o.PinThreads {
+				if unpin, err := affinity.PinToCPU(w); err == nil {
+					defer unpin()
+				}
+			}
+			this := o.Machine.SocketOfThread(w, workers)
+			myCQ := func() *queue.ChunkQueue { return cqs[this] }
+			myNQ := func() *queue.ChunkQueue { return nqs[this] }
+
+			local := make([]uint32, 0, o.LocalBatch)
+			remote := make([][]queue.Tuple, sockets)
+			for s := range remote {
+				remote[s] = make([]queue.Tuple, 0, o.BatchSize)
+			}
+			recvBuf := make([]queue.Tuple, o.BatchSize)
+
+			// claim runs the double-checked visitation protocol for a
+			// vertex owned by this socket and appends winners to the
+			// local batch.
+			claim := func(v, parent uint32, stats *LevelStats) {
+				if !o.DisableDoubleCheck {
+					stats.BitmapReads++
+					if visited.Get(int(v)) {
+						return
+					}
+				}
+				stats.AtomicOps++
+				if !visited.TestAndSet(int(v)) {
+					parents[v] = parent
+					reachedCounts[w]++
+					local = append(local, v)
+					if len(local) == cap(local) {
+						myNQ().PushBatch(local)
+						local = local[:0]
+					}
+				}
+			}
+
+			for {
+				var stats LevelStats
+
+				// Phase 1: expand the local frontier.
+				for {
+					chunk := myCQ().PopChunk(o.ChunkSize)
+					if chunk == nil {
+						break
+					}
+					for _, u := range chunk {
+						nbrs := g.Neighbors(graph.Vertex(u))
+						edgeCounts[w] += int64(len(nbrs))
+						stats.Frontier++
+						stats.Edges += int64(len(nbrs))
+						for _, v := range nbrs {
+							s := part.DetermineSocket(v)
+							if s == this {
+								claim(v, u, &stats)
+								continue
+							}
+							stats.RemoteSends++
+							remote[s] = append(remote[s], queue.Tuple{V: v, Parent: u})
+							if len(remote[s]) == cap(remote[s]) {
+								channels[s].SendBatch(remote[s])
+								remote[s] = remote[s][:0]
+							}
+						}
+					}
+				}
+				for s := range remote {
+					channels[s].SendBatch(remote[s])
+					remote[s] = remote[s][:0]
+				}
+
+				// All sends for this level are complete once every worker
+				// reaches the barrier; only then may anyone drain.
+				bar.wait()
+
+				// Phase 2: drain this socket's channel.
+				for {
+					got := channels[this].ReceiveBatch(recvBuf)
+					if got == 0 {
+						break
+					}
+					for _, t := range recvBuf[:got] {
+						claim(t.V, t.Parent, &stats)
+					}
+				}
+				nqs[this].PushBatch(local)
+				local = local[:0]
+				collector.add(w, stats)
+
+				if bar.wait() {
+					collector.fold(&perLevel, time.Since(levelStart))
+					levelStart = time.Now()
+					total := 0
+					for s := 0; s < sockets; s++ {
+						cqs[s].Reset()
+						cqs[s], nqs[s] = nqs[s], cqs[s]
+						total += cqs[s].Size()
+					}
+					levels++
+					if total == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
+						done.Store(true)
+					}
+				}
+				bar.wait()
+				if done.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var edges, reached int64
+	for w := 0; w < workers; w++ {
+		edges += edgeCounts[w]
+		reached += reachedCounts[w]
+	}
+	return &Result{
+		Parents:        parents,
+		Root:           root,
+		Reached:        reached + 1,
+		EdgesTraversed: edges,
+		Levels:         levels,
+		Duration:       time.Since(start),
+		Algorithm:      AlgMultiSocket,
+		Threads:        workers,
+		PerLevel:       perLevel,
+	}, nil
+}

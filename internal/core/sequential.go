@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"mcbfs/internal/graph"
+)
+
+// sequentialBFS is the serial baseline: a textbook two-queue
+// level-synchronous BFS. It shares the Result bookkeeping (levels, m_a,
+// optional per-level stats) with the parallel tiers so that speedup
+// numbers compare identical work.
+func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
+	n := g.NumVertices()
+	parents := newParents(n)
+	cq := make([]uint32, 0, n)
+	nq := make([]uint32, 0, n)
+
+	start := time.Now()
+	parents[root] = uint32(root)
+	cq = append(cq, uint32(root))
+	var reached int64 = 1
+	var edges int64
+	levels := 0
+	var perLevel []LevelStats
+
+	for len(cq) > 0 && (o.MaxLevels == 0 || levels < o.MaxLevels) {
+		var stats LevelStats
+		levelStart := time.Now()
+		for _, u := range cq {
+			nbrs := g.Neighbors(graph.Vertex(u))
+			edges += int64(len(nbrs))
+			if o.Instrument {
+				stats.Frontier++
+				stats.Edges += int64(len(nbrs))
+				stats.BitmapReads += int64(len(nbrs))
+			}
+			for _, v := range nbrs {
+				if parents[v] == NoParent {
+					parents[v] = u
+					nq = append(nq, v)
+					reached++
+					if o.Instrument {
+						stats.AtomicOps++ // the claim a parallel run would make atomic
+					}
+				}
+			}
+		}
+		levels++
+		if o.Instrument {
+			stats.Duration = time.Since(levelStart)
+			perLevel = append(perLevel, stats)
+		}
+		cq, nq = nq, cq[:0]
+	}
+
+	return &Result{
+		Parents:        parents,
+		Root:           root,
+		Reached:        reached,
+		EdgesTraversed: edges,
+		Levels:         levels,
+		Duration:       time.Since(start),
+		Algorithm:      AlgSequential,
+		Threads:        1,
+		PerLevel:       perLevel,
+	}, nil
+}

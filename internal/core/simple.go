@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/affinity"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/queue"
+)
+
+// parallelSimpleBFS is the paper's Algorithm 1: a level-synchronous BFS
+// with one shared current queue and one shared next queue, where
+// visitation is claimed directly on the parent array with an atomic
+// compare-and-swap (the paper's "the assignment in lines 10-12 must be
+// executed atomically").
+//
+// Its weaknesses are exactly what the later tiers fix: the random
+// working set is the full 4-byte-per-vertex parent array, and every
+// discovered neighbour costs a lock-prefixed instruction.
+func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
+	n := g.NumVertices()
+	parents := newParents(n)
+	cq := queue.NewChunkQueue(n)
+	nq := queue.NewChunkQueue(n)
+
+	workers := o.Threads
+	bar := newBarrier(workers)
+	var done atomic.Bool
+	edgeCounts := make([]int64, workers)
+	reachedCounts := make([]int64, workers)
+	levels := 0
+	var perLevel []LevelStats
+	collector := newStatsCollector(o.Instrument, workers)
+	levelStart := time.Now()
+
+	start := time.Now()
+	parents[root] = uint32(root)
+	cq.Push(uint32(root))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if o.PinThreads {
+				if unpin, err := affinity.PinToCPU(w); err == nil {
+					defer unpin()
+				}
+			}
+			local := make([]uint32, 0, o.LocalBatch)
+			for {
+				var stats LevelStats
+				for {
+					chunk := cq.PopChunk(o.ChunkSize)
+					if chunk == nil {
+						break
+					}
+					for _, u := range chunk {
+						nbrs := g.Neighbors(graph.Vertex(u))
+						edgeCounts[w] += int64(len(nbrs))
+						stats.Frontier++
+						stats.Edges += int64(len(nbrs))
+						for _, v := range nbrs {
+							// Algorithm 1 claims the parent slot directly;
+							// the load is part of the CAS loop, not a
+							// bitmap-style cheap probe.
+							stats.AtomicOps++
+							if atomic.CompareAndSwapUint32(&parents[v], NoParent, u) {
+								reachedCounts[w]++
+								local = append(local, v)
+								if len(local) == cap(local) {
+									nq.PushBatch(local)
+									local = local[:0]
+								}
+							}
+						}
+					}
+				}
+				nq.PushBatch(local)
+				local = local[:0]
+				collector.add(w, stats)
+
+				// Everyone finished the level; the coordinator swaps the
+				// queues and decides termination.
+				if bar.wait() {
+					collector.fold(&perLevel, time.Since(levelStart))
+					levelStart = time.Now()
+					cq.Reset()
+					cq, nq = nq, cq
+					levels++
+					if cq.Size() == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
+						done.Store(true)
+					}
+				}
+				bar.wait()
+				if done.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var edges, reached int64
+	for w := 0; w < workers; w++ {
+		edges += edgeCounts[w]
+		reached += reachedCounts[w]
+	}
+	return &Result{
+		Parents:        parents,
+		Root:           root,
+		Reached:        reached + 1, // workers count discoveries; the root is seeded
+		EdgesTraversed: edges,
+		Levels:         levels,
+		Duration:       time.Since(start),
+		Algorithm:      AlgParallelSimple,
+		Threads:        workers,
+		PerLevel:       perLevel,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/affinity"
+	"mcbfs/internal/bitmap"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/queue"
+)
+
+// singleSocketBFS is the paper's Algorithm 2, the single-socket
+// optimized tier. Two changes over Algorithm 1:
+//
+//  1. Visitation state moves from the parent array into a bitmap: the
+//     random-access working set drops from 4 bytes to 1 bit per vertex
+//     (32 M vertices fit in the 4 MB that fits an L3 slice), which the
+//     paper's Fig. 2 shows is worth ~4x in probe rate.
+//
+//  2. The claim is double-checked: a plain bitmap read first, and only
+//     if the bit looks clear the atomic read-and-set. In late levels
+//     almost every neighbour is already visited, so almost no
+//     lock-prefixed operations execute (paper Fig. 4). The bit may be
+//     set by a racing thread between the probe and the atomic, which is
+//     why the atomic's return value, not the probe, decides the winner.
+//
+// The parent slot is written only by the winner of the atomic, so the
+// write itself needs no synchronization; the level barrier publishes it.
+func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
+	n := g.NumVertices()
+	parents := newParents(n)
+	visited := bitmap.NewAtomic(n)
+	cq := queue.NewChunkQueue(n)
+	nq := queue.NewChunkQueue(n)
+
+	workers := o.Threads
+	bar := newBarrier(workers)
+	var done atomic.Bool
+	edgeCounts := make([]int64, workers)
+	reachedCounts := make([]int64, workers)
+	levels := 0
+	var perLevel []LevelStats
+	collector := newStatsCollector(o.Instrument, workers)
+	levelStart := time.Now()
+
+	start := time.Now()
+	parents[root] = uint32(root)
+	visited.Set(int(root))
+	cq.Push(uint32(root))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if o.PinThreads {
+				if unpin, err := affinity.PinToCPU(w); err == nil {
+					defer unpin()
+				}
+			}
+			local := make([]uint32, 0, o.LocalBatch)
+			var probeHit []bool
+			if o.ProbeBatch > 0 {
+				probeHit = make([]bool, o.ProbeBatch)
+			}
+			// claim runs the atomic half of the double-checked protocol.
+			claim := func(v, u uint32, stats *LevelStats) {
+				stats.AtomicOps++
+				if !visited.TestAndSet(int(v)) {
+					parents[v] = u
+					reachedCounts[w]++
+					local = append(local, v)
+					if len(local) == cap(local) {
+						nq.PushBatch(local)
+						local = local[:0]
+					}
+				}
+			}
+			for {
+				var stats LevelStats
+				for {
+					chunk := cq.PopChunk(o.ChunkSize)
+					if chunk == nil {
+						break
+					}
+					for _, u := range chunk {
+						nbrs := g.Neighbors(graph.Vertex(u))
+						edgeCounts[w] += int64(len(nbrs))
+						stats.Frontier++
+						stats.Edges += int64(len(nbrs))
+						if o.ProbeBatch > 0 && !o.DisableDoubleCheck {
+							// Software-pipelined probing: issue a block of
+							// independent bitmap loads first, then run the
+							// claim logic over the survivors. The probe loop
+							// carries no load-dependent branches, so the
+							// memory system overlaps the misses — the
+							// paper's "multiple memory requests in flight"
+							// applied to the probe stream.
+							for base := 0; base < len(nbrs); base += o.ProbeBatch {
+								end := base + o.ProbeBatch
+								if end > len(nbrs) {
+									end = len(nbrs)
+								}
+								block := nbrs[base:end]
+								for i, v := range block {
+									probeHit[i] = visited.Get(int(v))
+								}
+								stats.BitmapReads += int64(len(block))
+								for i, v := range block {
+									if !probeHit[i] {
+										claim(v, u, &stats)
+									}
+								}
+							}
+							continue
+						}
+						for _, v := range nbrs {
+							if !o.DisableDoubleCheck {
+								stats.BitmapReads++
+								if visited.Get(int(v)) {
+									continue
+								}
+							}
+							claim(v, u, &stats)
+						}
+					}
+				}
+				nq.PushBatch(local)
+				local = local[:0]
+				collector.add(w, stats)
+
+				if bar.wait() {
+					collector.fold(&perLevel, time.Since(levelStart))
+					levelStart = time.Now()
+					cq.Reset()
+					cq, nq = nq, cq
+					levels++
+					if cq.Size() == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
+						done.Store(true)
+					}
+				}
+				bar.wait()
+				if done.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var edges, reached int64
+	for w := 0; w < workers; w++ {
+		edges += edgeCounts[w]
+		reached += reachedCounts[w]
+	}
+	return &Result{
+		Parents:        parents,
+		Root:           root,
+		Reached:        reached + 1,
+		EdgesTraversed: edges,
+		Levels:         levels,
+		Duration:       time.Since(start),
+		Algorithm:      AlgSingleSocket,
+		Threads:        workers,
+		PerLevel:       perLevel,
+	}, nil
+}

@@ -1,0 +1,337 @@
+// Package dist prototypes the paper's stated future work: "to map the
+// graph exploration on distributed-memory machines ... with
+// high-performance, low-latency communication networks and lightweight
+// PGAS programming languages" (Section V).
+//
+// The design is the paper's Algorithm 3 taken one step further: the
+// inter-socket channel generalizes to an inter-node message exchange.
+// Each node owns a contiguous vertex partition and *only ever touches
+// its own memory* — parent array, visited bitmap and queues are private
+// per node, and a vertex discovered on a remote node travels as a
+// batched (vertex, parent) tuple message, the software analogue of a
+// PGAS one-sided put into the owner's queue. One message per ordered
+// node pair per level gives the receiver a deterministic completion
+// condition without a runtime.
+//
+// The "network" is in-process (Go channels), so measured wall-clock is
+// not a cluster prediction; what the package demonstrates is the
+// algorithm and its communication profile — supersteps, message and
+// tuple counts, per-node balance — which CommStats reports and the
+// tests pin.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mcbfs/internal/bitmap"
+	"mcbfs/internal/core"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/topology"
+)
+
+// Options configures a distributed BFS run.
+type Options struct {
+	// Nodes is the number of distributed-memory nodes (>= 1).
+	Nodes int
+	// BatchSize caps the tuples per message buffer before it is handed
+	// to the network layer mid-level; 0 means one message per level per
+	// destination (pure level aggregation).
+	BatchSize int
+}
+
+// CommStats summarizes the communication of a run.
+type CommStats struct {
+	// Supersteps is the number of BFS levels executed.
+	Supersteps int
+	// Messages is the total number of point-to-point messages.
+	Messages int64
+	// TuplesSent is the total number of (vertex, parent) tuples
+	// exchanged, the paper's channel traffic generalized to a network.
+	TuplesSent int64
+	// MaxNodeTuples is the largest tuple count sent by any single node,
+	// a load-imbalance indicator.
+	MaxNodeTuples int64
+}
+
+// Result is the outcome of a distributed BFS.
+type Result struct {
+	// Parents is the gathered parent array (the union of every node's
+	// partition).
+	Parents []uint32
+	// Reached counts the vertices in the tree.
+	Reached int64
+	// EdgesTraversed is m_a, summed over nodes.
+	EdgesTraversed int64
+	// Levels is the number of BFS levels.
+	Levels int
+	// Comm reports the communication profile.
+	Comm CommStats
+}
+
+// tuple mirrors the paper's channel payload.
+type tuple struct {
+	v, parent uint32
+}
+
+// message is one point-to-point transfer.
+type message struct {
+	from   int
+	tuples []tuple
+}
+
+// mailbox is an unbounded MPSC message queue: senders never block, so
+// no cyclic-send deadlock is possible at any batch size (a real
+// network's flow control is out of scope here; the paper's channels
+// solve the same problem with segmented rings).
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) push(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) pop() message {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	m.mu.Unlock()
+	return msg
+}
+
+// node is one distributed-memory node. All mutable state is private:
+// the slices cover only the node's vertex range.
+type node struct {
+	id       int
+	lo, hi   int      // owned vertex range [lo, hi)
+	parents  []uint32 // parents[v-lo]
+	visited  *bitmap.Bitmap
+	curr     []uint32
+	next     []uint32
+	inbox    *mailbox
+	outboxes [][]tuple
+	edges    int64
+	reached  int64
+	sent     int64
+	msgs     int64
+}
+
+// BFS explores g from root over opt.Nodes simulated distributed-memory
+// nodes and returns the gathered tree plus communication statistics.
+func BFS(g *graph.Graph, root graph.Vertex, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("dist: nil graph")
+	}
+	n := g.NumVertices()
+	if int(root) >= n {
+		return nil, fmt.Errorf("dist: root %d out of range [0,%d)", root, n)
+	}
+	p := opt.Nodes
+	if p < 1 {
+		return nil, fmt.Errorf("dist: node count %d must be >= 1", p)
+	}
+	part, err := topology.NewPartition(n, p)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]*node, p)
+	for i := 0; i < p; i++ {
+		lo, hi := part.Range(i)
+		nd := &node{
+			id:       i,
+			lo:       lo,
+			hi:       hi,
+			parents:  make([]uint32, hi-lo),
+			visited:  bitmap.New(hi - lo),
+			inbox:    newMailbox(),
+			outboxes: make([][]tuple, p),
+		}
+		for j := range nd.parents {
+			nd.parents[j] = core.NoParent
+		}
+		nodes[i] = nd
+	}
+
+	// Seed the root on its owner.
+	owner := part.DetermineSocket(uint32(root))
+	rn := nodes[owner]
+	rn.parents[int(root)-rn.lo] = uint32(root)
+	rn.visited.Set(int(root) - rn.lo)
+	rn.curr = append(rn.curr, uint32(root))
+	rn.reached = 1
+
+	// Superstep loop: an SPMD program per node, synchronized by
+	// barriers (the BSP/PGAS structure).
+	bar := newBarrier(p)
+	var discovered int64 // written only by the coordinator between barriers
+	var doneFlag bool
+	levels := 0
+
+	var wg sync.WaitGroup
+	levelDiscovered := make([]int64, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			for {
+				levelDiscovered[nd.id] = 0
+
+				// Phase 1: expand local frontier; remote targets go to
+				// per-destination outboxes.
+				for _, u := range nd.curr {
+					nbrs := g.Neighbors(graph.Vertex(u))
+					nd.edges += int64(len(nbrs))
+					for _, v := range nbrs {
+						d := part.DetermineSocket(v)
+						if d == nd.id {
+							nd.claim(v, u, &levelDiscovered[nd.id])
+							continue
+						}
+						nd.outboxes[d] = append(nd.outboxes[d], tuple{v: v, parent: u})
+						if opt.BatchSize > 0 && len(nd.outboxes[d]) >= opt.BatchSize {
+							nd.send(nodes, d, false)
+						}
+					}
+				}
+				// Close out the level: exactly one (possibly empty) final
+				// message per destination, so receivers can count.
+				for d := 0; d < p; d++ {
+					if d != nd.id {
+						nd.send(nodes, d, true)
+					}
+				}
+
+				// Phase 2: drain exactly one final message from every
+				// peer (plus any early batches interleaved before it).
+				pending := p - 1
+				for pending > 0 {
+					msg := nd.inbox.pop()
+					if msg.tuples == nil {
+						pending--
+						continue
+					}
+					for _, t := range msg.tuples {
+						nd.claim(t.v, t.parent, &levelDiscovered[nd.id])
+					}
+				}
+
+				// Allreduce the discovered count; the coordinator slot of
+				// the barrier performs the reduction.
+				if bar.wait() {
+					discovered = 0
+					for _, d := range levelDiscovered {
+						discovered += d
+					}
+					levels++
+					doneFlag = discovered == 0
+				}
+				bar.wait()
+				nd.curr, nd.next = nd.next, nd.curr[:0]
+				if doneFlag {
+					return
+				}
+			}
+		}(nodes[i])
+	}
+	wg.Wait()
+
+	// Gather.
+	res := &Result{Parents: make([]uint32, n), Levels: levels}
+	var maxSent int64
+	for _, nd := range nodes {
+		copy(res.Parents[nd.lo:nd.hi], nd.parents)
+		res.Reached += nd.reached
+		res.EdgesTraversed += nd.edges
+		res.Comm.Messages += nd.msgs
+		res.Comm.TuplesSent += nd.sent
+		if nd.sent > maxSent {
+			maxSent = nd.sent
+		}
+	}
+	res.Comm.Supersteps = levels
+	res.Comm.MaxNodeTuples = maxSent
+	return res, nil
+}
+
+// claim runs the visitation protocol for an owned vertex. Ownership is
+// exclusive, so no atomics are needed — the distributed layout buys
+// what the paper's Algorithm 3 bought per socket.
+func (nd *node) claim(v, parent uint32, discovered *int64) {
+	idx := int(v) - nd.lo
+	if nd.visited.TestAndSet(idx) {
+		return
+	}
+	nd.parents[idx] = parent
+	nd.next = append(nd.next, v)
+	nd.reached++
+	*discovered++
+}
+
+// send transfers the outbox for destination d. A final send delivers
+// even an empty buffer, marked by a nil tuple slice after the payload,
+// so the receiver can count level completion.
+func (nd *node) send(nodes []*node, d int, final bool) {
+	if len(nd.outboxes[d]) > 0 {
+		payload := make([]tuple, len(nd.outboxes[d]))
+		copy(payload, nd.outboxes[d])
+		nd.outboxes[d] = nd.outboxes[d][:0]
+		nodes[d].inbox.push(message{from: nd.id, tuples: payload})
+		nd.msgs++
+		nd.sent += int64(len(payload))
+	}
+	if final {
+		nodes[d].inbox.push(message{from: nd.id, tuples: nil})
+		nd.msgs++
+	}
+}
+
+// barrier is a small reusable barrier (duplicated from core to keep the
+// package dependency surface at graph/bitmap/topology only).
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() bool {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return false
+}

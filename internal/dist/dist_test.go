@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcbfs/internal/core"
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+)
+
+func must(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestDistMatchesSequentialAcrossNodeCounts(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+		root graph.Vertex
+	}{
+		{"uniform", must(gen.Uniform(3000, 8, 1)), 0},
+		{"rmat", must(gen.RMAT(11, 1<<14, gen.GTgraphDefaults, 2)), 5},
+		{"chain", must(gen.Chain(300)), 0},
+		{"grid", must(gen.Grid(30, 40, 4)), 7},
+		{"islands", must(gen.Uniform(2000, 1, 3)), 11},
+	}
+	for _, f := range families {
+		ref, err := core.BFS(f.g, f.root, core.Options{Algorithm: core.AlgSequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 3, 4, 7} {
+			for _, batch := range []int{0, 1, 16} {
+				res, err := BFS(f.g, f.root, Options{Nodes: nodes, BatchSize: batch})
+				if err != nil {
+					t.Fatalf("%s nodes=%d: %v", f.name, nodes, err)
+				}
+				if res.Reached != ref.Reached {
+					t.Errorf("%s nodes=%d batch=%d: Reached = %d, want %d",
+						f.name, nodes, batch, res.Reached, ref.Reached)
+				}
+				if res.EdgesTraversed != ref.EdgesTraversed {
+					t.Errorf("%s nodes=%d batch=%d: Edges = %d, want %d",
+						f.name, nodes, batch, res.EdgesTraversed, ref.EdgesTraversed)
+				}
+				if res.Levels != ref.Levels {
+					t.Errorf("%s nodes=%d batch=%d: Levels = %d, want %d",
+						f.name, nodes, batch, res.Levels, ref.Levels)
+				}
+				if err := core.ValidateTree(f.g, f.root, res.Parents); err != nil {
+					t.Errorf("%s nodes=%d batch=%d: %v", f.name, nodes, batch, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDistRejectsBadInput(t *testing.T) {
+	g := must(gen.Chain(3))
+	if _, err := BFS(nil, 0, Options{Nodes: 2}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := BFS(g, 9, Options{Nodes: 2}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := BFS(g, 0, Options{Nodes: 0}); err == nil {
+		t.Error("0 nodes accepted")
+	}
+}
+
+func TestDistCommStatsShape(t *testing.T) {
+	g := must(gen.Uniform(2000, 8, 4))
+	const nodes = 4
+	res, err := BFS(g, 0, Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pure level aggregation, each node sends one final marker to
+	// every peer per level, plus one payload message per non-empty
+	// destination buffer. Final markers alone give a lower bound.
+	minMsgs := int64(nodes * (nodes - 1) * res.Comm.Supersteps)
+	if res.Comm.Messages < minMsgs {
+		t.Errorf("Messages = %d, below the %d final markers", res.Comm.Messages, minMsgs)
+	}
+	if res.Comm.Supersteps != res.Levels {
+		t.Errorf("Supersteps = %d, Levels = %d", res.Comm.Supersteps, res.Levels)
+	}
+	// Tuples sent = cross-node adjacency scans: for a uniform random
+	// graph roughly (nodes-1)/nodes of m_a.
+	frac := float64(res.Comm.TuplesSent) / float64(res.EdgesTraversed)
+	want := float64(nodes-1) / float64(nodes)
+	if frac < want-0.1 || frac > want+0.1 {
+		t.Errorf("cross-node tuple fraction = %.2f, want ~%.2f", frac, want)
+	}
+	if res.Comm.MaxNodeTuples <= 0 || res.Comm.MaxNodeTuples > res.Comm.TuplesSent {
+		t.Errorf("MaxNodeTuples = %d out of range", res.Comm.MaxNodeTuples)
+	}
+}
+
+func TestDistSingleNodeSendsNothing(t *testing.T) {
+	g := must(gen.Uniform(1000, 8, 5))
+	res, err := BFS(g, 0, Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm.TuplesSent != 0 || res.Comm.Messages != 0 {
+		t.Errorf("single node sent %d tuples in %d messages", res.Comm.TuplesSent, res.Comm.Messages)
+	}
+}
+
+func TestDistMoreNodesThanVertices(t *testing.T) {
+	g := must(gen.Chain(3))
+	res, err := BFS(g, 0, Options{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 3 {
+		t.Errorf("Reached = %d, want 3", res.Reached)
+	}
+	if err := core.ValidateTree(g, 0, res.Parents); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistBatchSizeInvariance(t *testing.T) {
+	g := must(gen.RMAT(10, 8192, gen.GTgraphDefaults, 6))
+	base, err := BFS(g, 0, Options{Nodes: 4, BatchSize: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 2, 33, 1024} {
+		res, err := BFS(g, 0, Options{Nodes: 4, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached != base.Reached || res.Comm.TuplesSent != base.Comm.TuplesSent {
+			t.Errorf("batch=%d: Reached=%d/%d Tuples=%d/%d", batch,
+				res.Reached, base.Reached, res.Comm.TuplesSent, base.Comm.TuplesSent)
+		}
+		// Smaller batches mean at least as many messages.
+		if batch == 1 && res.Comm.Messages < base.Comm.Messages {
+			t.Errorf("batch=1 produced fewer messages (%d) than level aggregation (%d)",
+				res.Comm.Messages, base.Comm.Messages)
+		}
+	}
+}
+
+func TestQuickDistMatchesSequential(t *testing.T) {
+	f := func(raw []uint16, rootRaw, nodesRaw uint8) bool {
+		const n = 40
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{
+				Src: graph.Vertex(raw[i] % n), Dst: graph.Vertex(raw[i+1] % n),
+			})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		root := graph.Vertex(rootRaw % n)
+		nodes := 1 + int(nodesRaw)%6
+		ref, err := core.BFS(g, root, core.Options{Algorithm: core.AlgSequential})
+		if err != nil {
+			return false
+		}
+		res, err := BFS(g, root, Options{Nodes: nodes})
+		if err != nil {
+			return false
+		}
+		return res.Reached == ref.Reached &&
+			res.EdgesTraversed == ref.EdgesTraversed &&
+			res.Levels == ref.Levels &&
+			core.ValidateTree(g, root, res.Parents) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

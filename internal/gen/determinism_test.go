@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestGeneratorsIndependentOfGOMAXPROCS pins the package's central
+// determinism promise: shard boundaries and RNG streams are fixed, so
+// the generated graph is identical at any parallelism level.
+func TestGeneratorsIndependentOfGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	u1, err := Uniform(5000, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RMAT(12, 1<<14, GTgraphDefaults, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, procs := range []int{2, 4, 16} {
+		runtime.GOMAXPROCS(procs)
+		u2, err := Uniform(5000, 8, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalGraphs(u1, u2) {
+			t.Errorf("Uniform differs at GOMAXPROCS=%d", procs)
+		}
+		r2, err := RMAT(12, 1<<14, GTgraphDefaults, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalGraphs(r1, r2) {
+			t.Errorf("RMAT differs at GOMAXPROCS=%d", procs)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package gen produces the synthetic graph workloads evaluated in the
+// SC'10 paper: uniformly random graphs, R-MAT scale-free graphs (the
+// GTgraph parameterization), an SSCA#2-style clustered workload, and 2-D
+// grids (used by the Xia-Prasanna comparison row of Table III). Small
+// deterministic shapes (chain, star, complete graph, binary tree) are
+// provided for tests.
+//
+// All generators are deterministic functions of their seed, and the
+// heavyweight ones shard work across goroutines with non-overlapping RNG
+// streams, so the same (parameters, seed) pair yields the same graph at
+// any parallelism level.
+package gen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcbfs/internal/graph"
+	"mcbfs/internal/rng"
+)
+
+// Uniform returns a directed uniformly random graph with n vertices and
+// exactly n*degree edges: each vertex gets degree out-neighbours chosen
+// uniformly at random (with replacement, so multi-edges and self-loops
+// can occur, matching the paper's "graphs with n vertices each with
+// degree d, where the d neighbours of a vertex are chosen randomly").
+func Uniform(n, degree int, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: vertex count %d must be positive", n)
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("gen: degree %d must be non-negative", degree)
+	}
+	m := int64(n) * int64(degree)
+	offsets := make([]int64, n+1)
+	for v := 0; v <= n; v++ {
+		offsets[v] = int64(v) * int64(degree)
+	}
+	targets := make([]graph.Vertex, m)
+	parallelFill(n, seed, func(lo, hi int, r *rng.Xoshiro256) {
+		for v := lo; v < hi; v++ {
+			base := int64(v) * int64(degree)
+			for i := 0; i < degree; i++ {
+				targets[base+int64(i)] = graph.Vertex(r.Uint64n(uint64(n)))
+			}
+		}
+	})
+	return graph.FromCSR(offsets, targets)
+}
+
+// RMATParams are the four Kronecker probabilities of the R-MAT model.
+// They must be positive and sum to 1. GTgraph's defaults, used by the
+// paper's scale-free experiments, are (0.45, 0.15, 0.15, 0.25); the
+// Graph500 parameterization is (0.57, 0.19, 0.19, 0.05).
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// GTgraphDefaults mirrors the default R-MAT parameters of the GTgraph
+// suite cited by the paper.
+var GTgraphDefaults = RMATParams{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
+
+// Graph500Params is the Graph500/Kronecker parameterization, included
+// for cross-checking against the later reference implementations.
+var Graph500Params = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+func (p RMATParams) validate() error {
+	if p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 {
+		return fmt.Errorf("gen: R-MAT parameters must be positive: %+v", p)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("gen: R-MAT parameters sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// RMAT returns a directed R-MAT graph with 2^scale vertices and m edges.
+// Each edge is sampled independently by descending the implicit 2^scale
+// x 2^scale adjacency matrix, choosing one of four quadrants per level
+// with probabilities (A, B, C, D) plus a small symmetric noise term to
+// avoid degenerate staircases, as in GTgraph. Multi-edges and self-loops
+// are kept (the paper measures ma, the edges actually traversed).
+func RMAT(scale int, m int64, p RMATParams, seed uint64) (*graph.Graph, error) {
+	if scale < 0 || scale > 30 {
+		return nil, fmt.Errorf("gen: R-MAT scale %d out of range [0,30]", scale)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gen: negative edge count %d", m)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << scale
+	srcs := make([]graph.Vertex, m)
+	dsts := make([]graph.Vertex, m)
+	parallelFillEdges(m, seed, func(lo, hi int64, r *rng.Xoshiro256) {
+		for i := lo; i < hi; i++ {
+			srcs[i], dsts[i] = rmatEdge(scale, p, r)
+		}
+	})
+	return fromArrays(n, srcs, dsts)
+}
+
+// rmatEdge samples one edge by quadrant descent.
+func rmatEdge(scale int, p RMATParams, r *rng.Xoshiro256) (graph.Vertex, graph.Vertex) {
+	var u, v uint64
+	a, b, c := p.A, p.B, p.C
+	for bit := 0; bit < scale; bit++ {
+		// Perturb the probabilities by up to ±10% per level, renormalized,
+		// as GTgraph does, so the generated matrix is not exactly
+		// self-similar.
+		noise := 0.9 + 0.2*r.Float64()
+		an, bn, cn := a*noise, b, c
+		total := an + bn + cn + (1 - a - b - c)
+		x := r.Float64() * total
+		switch {
+		case x < an:
+			// top-left quadrant: no bits set
+		case x < an+bn:
+			v |= 1 << uint(bit)
+		case x < an+bn+cn:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return graph.Vertex(u), graph.Vertex(v)
+}
+
+// SSCA2 returns an SSCA#2-style graph: maxCliqueSize-bounded cliques of
+// vertices connected by sparse inter-clique edges, the workload of the
+// SSCA#2 benchmark the paper's Fig. 10 references. n is rounded down to
+// a whole number of cliques.
+func SSCA2(n, maxCliqueSize int, interCliqueFraction float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: vertex count %d must be positive", n)
+	}
+	if maxCliqueSize < 1 {
+		return nil, fmt.Errorf("gen: max clique size %d must be >= 1", maxCliqueSize)
+	}
+	if interCliqueFraction < 0 || interCliqueFraction > 1 {
+		return nil, fmt.Errorf("gen: inter-clique fraction %v out of [0,1]", interCliqueFraction)
+	}
+	r := rng.New(seed)
+	// Assign vertices to cliques of random size in [1, maxCliqueSize].
+	cliqueOf := make([]int32, n)
+	var cliqueStart []int
+	for v := 0; v < n; {
+		size := 1 + r.Intn(maxCliqueSize)
+		if v+size > n {
+			size = n - v
+		}
+		id := int32(len(cliqueStart))
+		cliqueStart = append(cliqueStart, v)
+		for i := 0; i < size; i++ {
+			cliqueOf[v+i] = id
+		}
+		v += size
+	}
+	cliqueStart = append(cliqueStart, n)
+	var edges []graph.Edge
+	// Intra-clique: every ordered pair (directed clique).
+	for c := 0; c+1 < len(cliqueStart); c++ {
+		lo, hi := cliqueStart[c], cliqueStart[c+1]
+		for u := lo; u < hi; u++ {
+			for v := lo; v < hi; v++ {
+				if u != v {
+					edges = append(edges, graph.Edge{Src: graph.Vertex(u), Dst: graph.Vertex(v)})
+				}
+			}
+		}
+	}
+	// Inter-clique: a fraction of vertices get one random remote edge,
+	// plus both directions to keep the graph well connected.
+	remote := int(float64(n) * interCliqueFraction)
+	for i := 0; i < remote; i++ {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		if cliqueOf[u] == cliqueOf[v] {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: u, Dst: v}, graph.Edge{Src: v, Dst: u})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Grid returns the k-connectivity 2-D grid with rows*cols vertices used
+// in the Xia-Prasanna comparison: conn=4 connects the von Neumann
+// neighbourhood, conn=8 the Moore neighbourhood. Edges are directed both
+// ways.
+func Grid(rows, cols, conn int) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gen: grid dimensions %dx%d must be positive", rows, cols)
+	}
+	if conn != 4 && conn != 8 {
+		return nil, fmt.Errorf("gen: grid connectivity %d must be 4 or 8", conn)
+	}
+	n := rows * cols
+	if n > graph.MaxVertices {
+		return nil, fmt.Errorf("gen: grid too large (%d vertices)", n)
+	}
+	var deltas [][2]int
+	deltas = [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+	if conn == 8 {
+		deltas = append(deltas, [][2]int{{-1, -1}, {-1, 1}, {1, -1}, {1, 1}}...)
+	}
+	id := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	adj := make([][]graph.Vertex, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for _, d := range deltas {
+				nr, nc := r+d[0], c+d[1]
+				if nr >= 0 && nr < rows && nc >= 0 && nc < cols {
+					adj[id(r, c)] = append(adj[id(r, c)], id(nr, nc))
+				}
+			}
+		}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// Chain returns the path graph 0->1->...->n-1 (directed).
+func Chain(n int) (*graph.Graph, error) {
+	adj := make([][]graph.Vertex, n)
+	for v := 0; v+1 < n; v++ {
+		adj[v] = []graph.Vertex{graph.Vertex(v + 1)}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// Star returns the star graph with edges hub->spoke for every spoke.
+func Star(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: star needs at least 1 vertex")
+	}
+	adj := make([][]graph.Vertex, n)
+	for v := 1; v < n; v++ {
+		adj[0] = append(adj[0], graph.Vertex(v))
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// Complete returns the complete directed graph on n vertices.
+func Complete(n int) (*graph.Graph, error) {
+	adj := make([][]graph.Vertex, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				adj[u] = append(adj[u], graph.Vertex(v))
+			}
+		}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// BinaryTree returns a complete binary tree of the given depth with
+// edges pointing from parent to children. Depth 0 is a single vertex.
+func BinaryTree(depth int) (*graph.Graph, error) {
+	if depth < 0 || depth > 30 {
+		return nil, fmt.Errorf("gen: tree depth %d out of range [0,30]", depth)
+	}
+	n := (1 << (depth + 1)) - 1
+	adj := make([][]graph.Vertex, n)
+	for v := 0; 2*v+2 < n; v++ {
+		adj[v] = []graph.Vertex{graph.Vertex(2*v + 1), graph.Vertex(2*v + 2)}
+	}
+	return graph.FromAdjacency(adj)
+}
+
+// fromArrays builds a CSR graph from parallel source/target arrays using
+// a counting sort, avoiding the []Edge intermediate for large m.
+func fromArrays(n int, srcs, dsts []graph.Vertex) (*graph.Graph, error) {
+	offsets := make([]int64, n+1)
+	for _, s := range srcs {
+		offsets[s+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]graph.Vertex, len(dsts))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for i, s := range srcs {
+		targets[cursor[s]] = dsts[i]
+		cursor[s]++
+	}
+	return graph.FromCSR(offsets, targets)
+}
+
+// genShards is the fixed number of work shards used by the parallel
+// generators. Shard s always covers the same index range and always
+// receives the s-th split of the seed's RNG stream, so the generated
+// graph is a pure function of (parameters, seed) regardless of
+// GOMAXPROCS or scheduling.
+const genShards = 64
+
+// parallelFill partitions [0, n) into genShards fixed shards, each with
+// a private non-overlapping RNG stream, and processes them on up to
+// GOMAXPROCS goroutines.
+func parallelFill(n int, seed uint64, fill func(lo, hi int, r *rng.Xoshiro256)) {
+	base := rng.New(seed)
+	streams := make([]*rng.Xoshiro256, genShards)
+	for i := range streams {
+		streams[i] = base.Split()
+	}
+	var next atomic.Int64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > genShards {
+		workers = genShards
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= genShards {
+					return
+				}
+				lo := n * s / genShards
+				hi := n * (s + 1) / genShards
+				if lo < hi {
+					fill(lo, hi, streams[s])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelFillEdges is parallelFill over an int64 edge range.
+func parallelFillEdges(m int64, seed uint64, fill func(lo, hi int64, r *rng.Xoshiro256)) {
+	base := rng.New(seed)
+	streams := make([]*rng.Xoshiro256, genShards)
+	for i := range streams {
+		streams[i] = base.Split()
+	}
+	var next atomic.Int64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > genShards {
+		workers = genShards
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int64(next.Add(1)) - 1
+				if s >= genShards {
+					return
+				}
+				lo := m * s / genShards
+				hi := m * (s + 1) / genShards
+				if lo < hi {
+					fill(lo, hi, streams[s])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

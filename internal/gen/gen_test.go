@@ -1,0 +1,467 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcbfs/internal/graph"
+)
+
+func TestUniformCounts(t *testing.T) {
+	g, err := Uniform(1000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("NumVertices = %d, want 1000", g.NumVertices())
+	}
+	if g.NumEdges() != 8000 {
+		t.Errorf("NumEdges = %d, want 8000", g.NumEdges())
+	}
+	for v := 0; v < 1000; v++ {
+		if g.Degree(graph.Vertex(v)) != 8 {
+			t.Fatalf("Degree(%d) = %d, want 8", v, g.Degree(graph.Vertex(v)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, err := Uniform(500, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(500, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(a, b) {
+		t.Error("same seed produced different uniform graphs")
+	}
+	c, err := Uniform(500, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equalGraphs(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestUniformTargetSpread(t *testing.T) {
+	// With 200k edges over 1000 vertices the in-degree distribution
+	// should cover essentially every vertex.
+	g, err := Uniform(1000, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 1000)
+	for _, v := range g.Targets() {
+		seen[v] = true
+	}
+	missing := 0
+	for _, s := range seen {
+		if !s {
+			missing++
+		}
+	}
+	if missing > 5 {
+		t.Errorf("%d vertices never chosen as a target; generator may be biased", missing)
+	}
+}
+
+func TestUniformRejectsBadArgs(t *testing.T) {
+	if _, err := Uniform(0, 4, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Uniform(-5, 4, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Uniform(10, -1, 1); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestUniformZeroDegree(t *testing.T) {
+	g, err := Uniform(10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestRMATCounts(t *testing.T) {
+	g, err := RMAT(10, 8192, GTgraphDefaults, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("NumVertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 8192 {
+		t.Errorf("NumEdges = %d, want 8192", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(8, 2048, GTgraphDefaults, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(8, 2048, GTgraphDefaults, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(a, b) {
+		t.Error("same seed produced different R-MAT graphs")
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// The defining property of R-MAT: a handful of very high degree
+	// vertices. Compare max degree against a uniform graph of the same
+	// size; R-MAT's should be several times larger.
+	rm, err := RMAT(12, 1<<16, GTgraphDefaults, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := Uniform(1<<12, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, us := rm.ComputeStats(), un.ComputeStats()
+	if rs.MaxDegree < 3*us.MaxDegree {
+		t.Errorf("R-MAT max degree %d vs uniform %d; expected heavy skew", rs.MaxDegree, us.MaxDegree)
+	}
+	if rs.Isolated == 0 {
+		t.Error("R-MAT graph has no low-degree/isolated vertices; distribution looks wrong")
+	}
+}
+
+func TestRMATQuadrantBias(t *testing.T) {
+	// With A much larger than D, low-numbered vertices should carry far
+	// more edges than high-numbered ones.
+	g, err := RMAT(10, 1<<15, RMATParams{A: 0.7, B: 0.1, C: 0.1, D: 0.1}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	var lowHalf, highHalf int64
+	for v := 0; v < n; v++ {
+		d := int64(g.Degree(graph.Vertex(v)))
+		if v < n/2 {
+			lowHalf += d
+		} else {
+			highHalf += d
+		}
+	}
+	if lowHalf < 2*highHalf {
+		t.Errorf("low half has %d edges, high half %d; expected strong bias to quadrant A", lowHalf, highHalf)
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(5, 10, RMATParams{A: 0.5, B: 0.5, C: 0.5, D: 0.5}, 1); err == nil {
+		t.Error("parameters summing to 2 accepted")
+	}
+	if _, err := RMAT(5, 10, RMATParams{A: 1, B: 0, C: 0, D: 0}, 1); err == nil {
+		t.Error("zero quadrant probability accepted")
+	}
+	if _, err := RMAT(-1, 10, GTgraphDefaults, 1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := RMAT(31, 10, GTgraphDefaults, 1); err == nil {
+		t.Error("scale 31 accepted")
+	}
+	if _, err := RMAT(5, -1, GTgraphDefaults, 1); err == nil {
+		t.Error("negative edge count accepted")
+	}
+}
+
+func TestSSCA2Structure(t *testing.T) {
+	g, err := SSCA2(500, 10, 0.2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Errorf("NumVertices = %d, want 500", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex in a clique of size >= 2 must have at least one edge;
+	// overall edge count must be positive and bounded by n*maxClique plus
+	// inter-clique extras.
+	if g.NumEdges() == 0 {
+		t.Error("SSCA2 produced no edges")
+	}
+	s := g.ComputeStats()
+	if s.MaxDegree > 10+10 {
+		t.Errorf("max degree %d exceeds clique bound + remote edges", s.MaxDegree)
+	}
+}
+
+func TestSSCA2CliqueSizeOne(t *testing.T) {
+	g, err := SSCA2(50, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("size-1 cliques with no remote edges should have 0 edges, got %d", g.NumEdges())
+	}
+}
+
+func TestSSCA2RejectsBadArgs(t *testing.T) {
+	if _, err := SSCA2(0, 5, 0.1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SSCA2(10, 0, 0.1, 1); err == nil {
+		t.Error("clique size 0 accepted")
+	}
+	if _, err := SSCA2(10, 5, -0.1, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := SSCA2(10, 5, 1.5, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestGrid4(t *testing.T) {
+	g, err := Grid(3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Fatalf("NumVertices = %d, want 12", g.NumVertices())
+	}
+	// Interior vertex (1,1) = id 5 has 4 neighbours; corner 0 has 2.
+	if g.Degree(5) != 4 {
+		t.Errorf("interior degree = %d, want 4", g.Degree(5))
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d, want 2", g.Degree(0))
+	}
+	// Edge count: 2*(rows*(cols-1) + cols*(rows-1)) directed.
+	want := int64(2 * (3*3 + 4*2))
+	if g.NumEdges() != want {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+}
+
+func TestGrid8(t *testing.T) {
+	g, err := Grid(3, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(4) != 8 { // center of 3x3
+		t.Errorf("center degree = %d, want 8", g.Degree(4))
+	}
+	if g.Degree(0) != 3 { // corner: right, down, diagonal
+		t.Errorf("corner degree = %d, want 3", g.Degree(0))
+	}
+}
+
+func TestGridSymmetric(t *testing.T) {
+	g, err := Grid(5, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(graph.Vertex(u)) {
+			if !g.HasEdge(v, graph.Vertex(u)) {
+				t.Fatalf("grid edge %d->%d has no reverse", u, v)
+			}
+		}
+	}
+}
+
+func TestGridRejectsBadArgs(t *testing.T) {
+	if _, err := Grid(0, 5, 4); err == nil {
+		t.Error("0 rows accepted")
+	}
+	if _, err := Grid(5, 0, 4); err == nil {
+		t.Error("0 cols accepted")
+	}
+	if _, err := Grid(5, 5, 6); err == nil {
+		t.Error("connectivity 6 accepted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g, err := Chain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for v := 0; v < 4; v++ {
+		if !g.HasEdge(graph.Vertex(v), graph.Vertex(v+1)) {
+			t.Errorf("missing chain edge %d->%d", v, v+1)
+		}
+	}
+	if g.Degree(4) != 0 {
+		t.Error("last vertex should have no out-edges")
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	g, err := Chain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Errorf("Chain(0) has %d vertices", g.NumVertices())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("hub degree = %d, want 5", g.Degree(0))
+	}
+	for v := 1; v < 6; v++ {
+		if g.Degree(graph.Vertex(v)) != 0 {
+			t.Errorf("spoke %d has out-degree %d", v, g.Degree(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 20 {
+		t.Errorf("NumEdges = %d, want 20", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(graph.Vertex(v)) != 4 {
+			t.Errorf("Degree(%d) = %d, want 4", v, g.Degree(graph.Vertex(v)))
+		}
+		if g.HasEdge(graph.Vertex(v), graph.Vertex(v)) {
+			t.Errorf("self-loop at %d", v)
+		}
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g, err := BinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 15 {
+		t.Fatalf("NumVertices = %d, want 15", g.NumVertices())
+	}
+	if g.NumEdges() != 14 {
+		t.Fatalf("NumEdges = %d, want 14", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) || !g.HasEdge(6, 14) {
+		t.Error("tree structure wrong")
+	}
+	// Leaves have no children.
+	for v := 7; v < 15; v++ {
+		if g.Degree(graph.Vertex(v)) != 0 {
+			t.Errorf("leaf %d has degree %d", v, g.Degree(graph.Vertex(v)))
+		}
+	}
+}
+
+func TestUniformMeanInDegree(t *testing.T) {
+	// In-degree of each vertex is Binomial(m, 1/n); mean must be close to
+	// the out-degree.
+	const n, d = 2000, 16
+	g, err := Uniform(n, d, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDeg := make([]int, n)
+	for _, v := range g.Targets() {
+		inDeg[v]++
+	}
+	sum := 0
+	for _, x := range inDeg {
+		sum += x
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-d) > 0.001 {
+		t.Errorf("mean in-degree = %v, want %v", mean, float64(d))
+	}
+}
+
+func TestQuickUniformAlwaysValid(t *testing.T) {
+	f := func(nRaw uint16, dRaw uint8, seed uint64) bool {
+		n := int(nRaw%1000) + 1
+		d := int(dRaw % 16)
+		g, err := Uniform(n, d, seed)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.NumEdges() == int64(n)*int64(d)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRMATAlwaysValid(t *testing.T) {
+	f := func(scaleRaw uint8, mRaw uint16, seed uint64) bool {
+		scale := int(scaleRaw % 12)
+		m := int64(mRaw % 4096)
+		g, err := RMAT(scale, m, GTgraphDefaults, seed)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && g.NumEdges() == m && g.NumVertices() == 1<<scale
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalGraphs(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	at, bt := a.Targets(), b.Targets()
+	for i := range at {
+		if at[i] != bt[i] {
+			return false
+		}
+	}
+	ao, bo := a.Offsets(), b.Offsets()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkUniform1M8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Uniform(1<<20, 8, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRMATScale18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RMAT(18, 1<<21, GTgraphDefaults, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

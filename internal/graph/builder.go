@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst Vertex
+}
+
+// FromEdges builds a CSR graph with n vertices from an arbitrary edge
+// list. Edges are grouped by source using a counting sort (O(n+m), no
+// comparison sort), preserving duplicate edges; the paper's generators
+// may emit multi-edges and the BFS must tolerate them. It returns an
+// error if n is out of range or an endpoint exceeds n.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 || n > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d out of range [0,%d]", n, MaxVertices)
+	}
+	for i, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) exceeds vertex count %d", i, e.Src, e.Dst, n)
+		}
+	}
+	offsets := make([]int64, n+1)
+	for _, e := range edges {
+		offsets[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]Vertex, len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		targets[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	return &Graph{offsets: offsets, targets: targets}, nil
+}
+
+// FromAdjacency builds a graph from explicit adjacency lists. It is a
+// convenience for tests and examples; adj[v] lists the out-neighbours of
+// v. It returns an error if a neighbour id is out of range.
+func FromAdjacency(adj [][]Vertex) (*Graph, error) {
+	n := len(adj)
+	offsets := make([]int64, n+1)
+	for v, nbrs := range adj {
+		offsets[v+1] = offsets[v] + int64(len(nbrs))
+	}
+	targets := make([]Vertex, 0, offsets[n])
+	for v, nbrs := range adj {
+		for _, w := range nbrs {
+			if int(w) >= n {
+				return nil, fmt.Errorf("graph: neighbour %d of vertex %d out of range", w, v)
+			}
+			targets = append(targets, w)
+		}
+	}
+	return &Graph{offsets: offsets, targets: targets}, nil
+}
+
+// FromCSR wraps pre-built CSR arrays in a Graph without copying. The
+// arrays must satisfy the invariants checked by Validate; FromCSR
+// verifies them and returns an error otherwise. Generators use this path
+// to avoid materializing an intermediate edge list.
+func FromCSR(offsets []int64, targets []Vertex) (*Graph, error) {
+	g := &Graph{offsets: offsets, targets: targets}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Undirected returns a graph in which every edge of g is paired with its
+// reverse. Duplicate pairs are not removed: if g already contains both
+// directions of an edge, the result contains both twice. Use
+// Deduplicate afterwards if a simple graph is needed.
+func (g *Graph) Undirected() *Graph {
+	n := g.NumVertices()
+	deg := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(Vertex(u)) {
+			deg[u+1]++
+			deg[v+1]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v+1]
+	}
+	targets := make([]Vertex, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(Vertex(u)) {
+			targets[cursor[u]] = v
+			cursor[u]++
+			targets[cursor[v]] = Vertex(u)
+			cursor[v]++
+		}
+	}
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+// Deduplicate returns a copy of g with each adjacency list sorted and
+// duplicate edges and self-loops removed.
+func (g *Graph) Deduplicate() *Graph {
+	n := g.NumVertices()
+	offsets := make([]int64, n+1)
+	targets := make([]Vertex, 0, len(g.targets))
+	var scratch []Vertex
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(Vertex(u))
+		scratch = append(scratch[:0], nbrs...)
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		var prev Vertex
+		first := true
+		for _, v := range scratch {
+			if v == Vertex(u) {
+				continue // self-loop
+			}
+			if !first && v == prev {
+				continue // duplicate
+			}
+			targets = append(targets, v)
+			prev, first = v, false
+		}
+		offsets[u+1] = int64(len(targets))
+	}
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+// Relabel returns a copy of g with vertex v renamed to perm[v]. perm
+// must be a permutation of [0, n). Relabeling is how the harness breaks
+// the artificial locality of synthetic generators (the paper's random
+// graphs have no locality by construction; a grid does).
+func (g *Graph) Relabel(perm []Vertex) (*Graph, error) {
+	n := g.NumVertices()
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != vertex count %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("graph: perm is not a permutation (value %d)", p)
+		}
+		seen[p] = true
+	}
+	deg := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		deg[perm[u]+1] = int64(g.Degree(Vertex(u)))
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v+1]
+	}
+	targets := make([]Vertex, len(g.targets))
+	for u := 0; u < n; u++ {
+		pos := offsets[perm[u]]
+		for _, v := range g.Neighbors(Vertex(u)) {
+			targets[pos] = perm[v]
+			pos++
+		}
+	}
+	return &Graph{offsets: offsets, targets: targets}, nil
+}

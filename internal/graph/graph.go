@@ -1,0 +1,207 @@
+// Package graph provides the compressed-sparse-row (CSR) graph storage
+// used by every algorithm in this repository.
+//
+// CSR is the layout the SC'10 paper's BFS operates on: one contiguous
+// offsets array of n+1 entries and one contiguous adjacency array of m
+// entries. Scanning the adjacency list of a vertex is a sequential walk,
+// which is the only spatial locality a BFS gets; everything else (parent
+// array, bitmap, queue insertion) is a random access.
+//
+// Vertices are identified by uint32 (the paper's largest graph has 200
+// million vertices; uint32 halves the adjacency footprint versus int64
+// and doubles effective memory bandwidth). Edge counts and offsets use
+// int64 because the paper's graphs reach a billion edges.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Vertex identifies a graph vertex. The zero vertex is a valid vertex.
+type Vertex = uint32
+
+// MaxVertices is the largest vertex count a Graph can hold.
+const MaxVertices = 1 << 31
+
+// Graph is an immutable directed graph in CSR form. Construct one with
+// FromEdges, FromSorted, or a generator in package gen; the zero value is
+// an empty graph with no vertices.
+//
+// A Graph is safe for concurrent readers; it is never mutated after
+// construction.
+type Graph struct {
+	offsets []int64  // offsets[v]..offsets[v+1] index targets; len n+1
+	targets []Vertex // adjacency array; len m
+}
+
+// NumVertices returns the number of vertices n. Valid vertex ids are
+// [0, n).
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of directed edges m.
+func (g *Graph) NumEdges() int64 { return int64(len(g.targets)) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v Vertex) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency list of v as a subslice of the shared
+// adjacency array. Callers must not modify it.
+func (g *Graph) Neighbors(v Vertex) []Vertex {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Offsets returns the CSR offsets array (length NumVertices()+1).
+// Callers must not modify it. It is exported for the experiment harness,
+// which partitions work by edge ranges.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Targets returns the CSR adjacency array. Callers must not modify it.
+func (g *Graph) Targets() []Vertex { return g.targets }
+
+// HasEdge reports whether the directed edge (u, v) exists. It is a
+// linear scan of u's adjacency list and intended for tests and small
+// graphs, not inner loops.
+func (g *Graph) HasEdge(u, v Vertex) bool {
+	for _, w := range g.Neighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural invariants of the CSR arrays: offsets
+// are monotonically non-decreasing, start at 0, end at NumEdges, and all
+// targets are valid vertex ids. It returns a descriptive error for the
+// first violation found.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if n == 0 {
+		if len(g.targets) != 0 {
+			return errors.New("graph: edges present with zero vertices")
+		}
+		return nil
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if g.offsets[n] != int64(len(g.targets)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.targets))
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets decrease at vertex %d", v)
+		}
+	}
+	for i, t := range g.targets {
+		if int(t) >= n {
+			return fmt.Errorf("graph: target %d at edge %d out of range [0,%d)", t, i, n)
+		}
+	}
+	return nil
+}
+
+// Transpose returns the graph with every edge reversed. For an
+// undirected graph (every edge paired with its reverse) the transpose
+// equals the original up to adjacency ordering.
+func (g *Graph) Transpose() *Graph {
+	n := g.NumVertices()
+	m := len(g.targets)
+	inDeg := make([]int64, n+1)
+	for _, t := range g.targets {
+		inDeg[t+1]++
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + inDeg[v+1]
+	}
+	targets := make([]Vertex, m)
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for u := 0; u < n; u++ {
+		for _, t := range g.targets[g.offsets[u]:g.offsets[u+1]] {
+			targets[cursor[t]] = Vertex(u)
+			cursor[t]++
+		}
+	}
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+// Stats summarizes the degree distribution of a graph. The paper's two
+// workload families differ exactly here: uniform graphs have a tight
+// binomial degree distribution while R-MAT graphs have a few very high
+// degree vertices and many low-degree ones.
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+	Isolated  int // vertices with out-degree 0
+}
+
+// ComputeStats scans the graph once and returns its degree statistics.
+func (g *Graph) ComputeStats() Stats {
+	n := g.NumVertices()
+	s := Stats{Vertices: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	s.MinDegree = int(^uint(0) >> 1)
+	for v := 0; v < n; v++ {
+		d := g.Degree(Vertex(v))
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(s.Edges) / float64(n)
+	return s
+}
+
+// DegreeHistogram returns counts of vertices per degree bucket, where
+// bucket i holds vertices with degree in [2^(i-1), 2^i) and bucket 0
+// holds degree-0 vertices. It is used by the harness to display the
+// power-law shape of R-MAT graphs.
+func (g *Graph) DegreeHistogram() []int64 {
+	var hist []int64
+	bucketOf := func(d int) int {
+		if d == 0 {
+			return 0
+		}
+		b := 1
+		for d > 1 {
+			d >>= 1
+			b++
+		}
+		return b
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		b := bucketOf(g.Degree(Vertex(v)))
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+// MemoryFootprint returns the approximate number of bytes occupied by
+// the CSR arrays. The paper reasons about working sets explicitly; the
+// harness prints this alongside each experiment.
+func (g *Graph) MemoryFootprint() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.targets))*4
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary file format:
+//
+//	magic   uint32  'MCBF'
+//	version uint32  1
+//	n       uint64  vertex count
+//	m       uint64  edge count
+//	offsets n+1 × int64 (little endian)
+//	targets m × uint32 (little endian)
+//
+// The format is deliberately trivial: the harness writes multi-hundred-
+// megabyte graphs and reads them back once per run, so raw arrays beat
+// any clever encoding.
+
+const (
+	fileMagic   = 0x4d434246 // "MCBF"
+	fileVersion = 1
+)
+
+// WriteTo writes the graph to w in the binary format above. It returns
+// the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	n := g.NumVertices()
+	header := []uint64{
+		uint64(fileMagic)<<32 | fileVersion,
+		uint64(n),
+		uint64(len(g.targets)),
+	}
+	if err := put(header); err != nil {
+		return written, fmt.Errorf("graph: writing header: %w", err)
+	}
+	offsets := g.offsets
+	if n == 0 {
+		offsets = []int64{0}
+	}
+	if err := put(offsets); err != nil {
+		return written, fmt.Errorf("graph: writing offsets: %w", err)
+	}
+	if err := put(g.targets); err != nil {
+		return written, fmt.Errorf("graph: writing targets: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("graph: flushing: %w", err)
+	}
+	return written, nil
+}
+
+// ReadFrom reads a graph in the binary format produced by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var header [3]uint64
+	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if magic := header[0] >> 32; magic != fileMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if ver := header[0] & 0xffffffff; ver != fileVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	}
+	n, m := header[1], header[2]
+	if n > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds maximum", n)
+	}
+	// The header sizes are untrusted: read both arrays in bounded
+	// chunks so a corrupt or malicious header cannot demand gigabytes
+	// of allocation before the stream proves it actually carries the
+	// data.
+	const chunk = 1 << 20
+	offsets := make([]int64, 0, min64(n+1, chunk))
+	for read := uint64(0); read < n+1; {
+		want := n + 1 - read
+		if want > chunk {
+			want = chunk
+		}
+		part := make([]int64, want)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		offsets = append(offsets, part...)
+		read += want
+	}
+	targets := make([]Vertex, 0, min64(m, chunk))
+	for read := uint64(0); read < m; {
+		want := m - read
+		if want > chunk {
+			want = chunk
+		}
+		part := make([]Vertex, want)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, fmt.Errorf("graph: reading targets: %w", err)
+		}
+		targets = append(targets, part...)
+		read += want
+	}
+	g := &Graph{offsets: offsets, targets: targets}
+	if n == 0 {
+		g.offsets = nil
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: file contents invalid: %w", err)
+	}
+	return g, nil
+}
+
+// Save writes the graph to the named file, creating or truncating it.
+func (g *Graph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph from the named file.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+// Package graph500 runs the Graph500-style BFS benchmark protocol over
+// this library. The Graph500 list was launched in the same year as the
+// paper (SC 2010) around exactly this kernel, and its protocol became
+// the standard way to report BFS performance:
+//
+//  1. generate a Kronecker/R-MAT graph of the given scale and edge
+//     factor;
+//  2. sample a fixed number of search keys (roots) with non-zero
+//     degree;
+//  3. run one timed BFS per key;
+//  4. validate every resulting tree;
+//  5. report TEPS (traversed edges per second) statistics — notably
+//     the harmonic mean, which Graph500 designates as the headline
+//     number.
+//
+// Running the protocol here both exercises the library the way the
+// community benchmarks BFS and provides the "competitive Graph500-era
+// results" frame of the paper's abstract.
+package graph500
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcbfs/internal/core"
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/rng"
+	"mcbfs/internal/stats"
+)
+
+// Spec configures a benchmark run.
+type Spec struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is the ratio m/n (Graph500 default 16).
+	EdgeFactor int
+	// Roots is the number of search keys (Graph500 uses 64).
+	Roots int
+	// Seed drives generation and root sampling.
+	Seed uint64
+	// Options configures the BFS runs (algorithm tier, threads, ...).
+	Options core.Options
+	// SkipValidation skips per-root tree validation (validation is
+	// O(n+m) per root and dominates small-scale runs).
+	SkipValidation bool
+}
+
+// DefaultSpec returns the standard protocol at the given scale: edge
+// factor 16, 64 roots.
+func DefaultSpec(scale int) Spec {
+	return Spec{Scale: scale, EdgeFactor: 16, Roots: 64, Seed: 2010}
+}
+
+// Result reports one benchmark run.
+type Result struct {
+	// Scale and EdgeFactor echo the spec.
+	Scale      int
+	EdgeFactor int
+	// Vertices and Edges are the generated graph's size.
+	Vertices int
+	Edges    int64
+	// ConstructionTime is the kernel-1 (generation + CSR build) time.
+	ConstructionTime time.Duration
+	// RootsRun is the number of BFS runs (may be below Spec.Roots if
+	// the graph has fewer non-isolated vertices).
+	RootsRun int
+	// TEPS holds one traversed-edges-per-second value per root.
+	TEPS []float64
+	// HarmonicMeanTEPS is the Graph500 headline metric.
+	HarmonicMeanTEPS float64
+	// MinTEPS, MedianTEPS, MaxTEPS summarize the distribution.
+	MinTEPS, MedianTEPS, MaxTEPS float64
+	// MeanReached is the average number of vertices reached per root.
+	MeanReached float64
+	// Validated reports whether every tree passed validation.
+	Validated bool
+}
+
+// Run executes the protocol.
+func Run(spec Spec) (*Result, error) {
+	if spec.Scale < 1 || spec.Scale > 30 {
+		return nil, fmt.Errorf("graph500: scale %d out of range [1,30]", spec.Scale)
+	}
+	if spec.EdgeFactor < 1 {
+		return nil, fmt.Errorf("graph500: edge factor %d must be >= 1", spec.EdgeFactor)
+	}
+	if spec.Roots < 1 {
+		return nil, fmt.Errorf("graph500: root count %d must be >= 1", spec.Roots)
+	}
+
+	n := 1 << spec.Scale
+	m := int64(n) * int64(spec.EdgeFactor)
+
+	constructStart := time.Now()
+	// Graph500's Kronecker generator is the R-MAT recursion with the
+	// (0.57, 0.19, 0.19, 0.05) parameters; edges are interpreted as
+	// undirected, so both directions enter the CSR.
+	directed, err := gen.RMAT(spec.Scale, m, gen.Graph500Params, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := directed.Undirected()
+	construction := time.Since(constructStart)
+
+	// Sample roots among vertices with at least one edge, as the
+	// specification requires.
+	r := rng.New(spec.Seed ^ 0x500)
+	roots := make([]graph.Vertex, 0, spec.Roots)
+	seen := make(map[graph.Vertex]bool)
+	attempts := 0
+	for len(roots) < spec.Roots && attempts < 100*spec.Roots {
+		attempts++
+		v := graph.Vertex(r.Intn(n))
+		if g.Degree(v) == 0 || seen[v] {
+			continue
+		}
+		seen[v] = true
+		roots = append(roots, v)
+	}
+	if len(roots) == 0 {
+		return nil, errors.New("graph500: no non-isolated vertices to sample")
+	}
+
+	res := &Result{
+		Scale:      spec.Scale,
+		EdgeFactor: spec.EdgeFactor,
+		Vertices:   n,
+		Edges:      g.NumEdges(),
+
+		ConstructionTime: construction,
+		Validated:        true,
+	}
+	var reachedSum float64
+	for _, root := range roots {
+		bfsRes, err := core.BFS(g, root, spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		res.TEPS = append(res.TEPS, bfsRes.EdgesPerSecond())
+		reachedSum += float64(bfsRes.Reached)
+		if !spec.SkipValidation {
+			if err := core.ValidateTree(g, root, bfsRes.Parents); err != nil {
+				res.Validated = false
+				return res, fmt.Errorf("graph500: root %d produced invalid tree: %w", root, err)
+			}
+		}
+	}
+	res.RootsRun = len(roots)
+	res.MeanReached = reachedSum / float64(len(roots))
+	res.HarmonicMeanTEPS = stats.HarmonicMean(res.TEPS)
+	res.MinTEPS = stats.Quantile(res.TEPS, 0)
+	res.MedianTEPS = stats.Quantile(res.TEPS, 0.5)
+	res.MaxTEPS = stats.Quantile(res.TEPS, 1)
+	return res, nil
+}
+
+// String renders the result the way Graph500 submissions are quoted.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"graph500 scale=%d edgefactor=%d: %s harmonic-mean TEPS over %d roots (min %s, median %s, max %s), construction %v, validated=%v",
+		r.Scale, r.EdgeFactor, stats.FormatRate(r.HarmonicMeanTEPS), r.RootsRun,
+		stats.FormatRate(r.MinTEPS), stats.FormatRate(r.MedianTEPS), stats.FormatRate(r.MaxTEPS),
+		r.ConstructionTime.Round(time.Millisecond), r.Validated)
+}

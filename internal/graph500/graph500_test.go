@@ -1,0 +1,126 @@
+package graph500
+
+import (
+	"strings"
+	"testing"
+
+	"mcbfs/internal/core"
+)
+
+func TestRunSmallScale(t *testing.T) {
+	spec := DefaultSpec(10)
+	spec.Roots = 8
+	spec.Options = core.Options{Threads: 4}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vertices != 1024 {
+		t.Errorf("Vertices = %d", res.Vertices)
+	}
+	if res.Edges != 2*1024*16 {
+		t.Errorf("Edges = %d, want undirected doubling of n*16", res.Edges)
+	}
+	if res.RootsRun != 8 {
+		t.Errorf("RootsRun = %d", res.RootsRun)
+	}
+	if len(res.TEPS) != res.RootsRun {
+		t.Errorf("TEPS count = %d", len(res.TEPS))
+	}
+	if res.HarmonicMeanTEPS <= 0 {
+		t.Error("no harmonic mean TEPS")
+	}
+	if !res.Validated {
+		t.Error("trees failed validation")
+	}
+	if res.MinTEPS > res.MedianTEPS || res.MedianTEPS > res.MaxTEPS {
+		t.Errorf("TEPS quantiles out of order: %v %v %v", res.MinTEPS, res.MedianTEPS, res.MaxTEPS)
+	}
+	if res.ConstructionTime <= 0 {
+		t.Error("no construction time")
+	}
+	if res.MeanReached <= 1 {
+		t.Errorf("MeanReached = %v", res.MeanReached)
+	}
+}
+
+func TestRunHarmonicMeanBelowMax(t *testing.T) {
+	spec := DefaultSpec(9)
+	spec.Roots = 6
+	spec.SkipValidation = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HarmonicMeanTEPS > res.MaxTEPS {
+		t.Errorf("harmonic mean %v above max %v", res.HarmonicMeanTEPS, res.MaxTEPS)
+	}
+	if res.HarmonicMeanTEPS < res.MinTEPS {
+		t.Errorf("harmonic mean %v below min %v", res.HarmonicMeanTEPS, res.MinTEPS)
+	}
+}
+
+func TestRunDeterministicGraph(t *testing.T) {
+	spec := DefaultSpec(8)
+	spec.Roots = 2
+	spec.SkipValidation = true
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Edges != b.Edges || a.Vertices != b.Vertices || a.RootsRun != b.RootsRun {
+		t.Error("same spec produced different graphs")
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	bad := []Spec{
+		{Scale: 0, EdgeFactor: 16, Roots: 4},
+		{Scale: 31, EdgeFactor: 16, Roots: 4},
+		{Scale: 10, EdgeFactor: 0, Roots: 4},
+		{Scale: 10, EdgeFactor: 16, Roots: 0},
+	}
+	for _, s := range bad {
+		if _, err := Run(s); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestRunAllTiers(t *testing.T) {
+	for _, alg := range []core.Algorithm{
+		core.AlgSequential, core.AlgSingleSocket, core.AlgMultiSocket, core.AlgDirectionOptimizing,
+	} {
+		spec := DefaultSpec(9)
+		spec.Roots = 3
+		spec.Options = core.Options{Algorithm: alg, Threads: 4}
+		res, err := Run(spec)
+		if err != nil {
+			t.Errorf("%v: %v", alg, err)
+			continue
+		}
+		if !res.Validated {
+			t.Errorf("%v: validation failed", alg)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	spec := DefaultSpec(8)
+	spec.Roots = 2
+	spec.SkipValidation = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"graph500 scale=8", "harmonic-mean TEPS", "validated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package machine
+
+import (
+	"testing"
+
+	"mcbfs/internal/topology"
+)
+
+func TestLevelOf(t *testing.T) {
+	m := EP()
+	cases := []struct {
+		ws   int64
+		want Level
+	}{
+		{1 << 10, L1},
+		{32 << 10, L1},
+		{33 << 10, L2},
+		{256 << 10, L2},
+		{1 << 20, L3},
+		{8 << 20, L3},
+		{9 << 20, DRAM},
+		{2 << 30, DRAM},
+	}
+	for _, c := range cases {
+		if got := m.LevelOf(c.ws); got != c.want {
+			t.Errorf("LevelOf(%d) = %v, want %v", c.ws, got, c.want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{L1, L2, L3, DRAM} {
+		if l.String() == "" {
+			t.Errorf("empty name for level %d", int(l))
+		}
+	}
+}
+
+func TestLatencyMonotonic(t *testing.T) {
+	m := EP()
+	prev := 0.0
+	for ws := int64(4 << 10); ws <= 8<<30; ws *= 2 {
+		lat := m.RandomReadLatencyNS(ws)
+		if lat < prev {
+			t.Errorf("latency decreased at ws=%d: %v < %v", ws, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestLatencyAnchors(t *testing.T) {
+	m := EP()
+	if lat := m.RandomReadLatencyNS(4 << 10); lat > 2 {
+		t.Errorf("L1 latency = %v ns, want ~1.4", lat)
+	}
+	// Nehalem local DRAM latency is ~65 ns before TLB effects.
+	lat := m.RandomReadLatencyNS(64 << 20)
+	if lat < 50 || lat > 120 {
+		t.Errorf("64MB latency = %v ns, want around 65-100", lat)
+	}
+}
+
+// TestFig2Anchors pins the model to the two rates the paper quotes for
+// Fig. 2: ~160 M reads/s at an 8 MB working set and ~40 M reads/s at
+// 2 GB, with 16 requests in flight.
+func TestFig2Anchors(t *testing.T) {
+	m := EP()
+	r8m := m.RandomReadRate(8<<20, 16)
+	if r8m < 100e6 || r8m > 250e6 {
+		t.Errorf("rate(8MB, depth16) = %.1f M/s, paper reports ~160 M/s", r8m/1e6)
+	}
+	r2g := m.RandomReadRate(2<<30, 16)
+	if r2g < 25e6 || r2g > 60e6 {
+		t.Errorf("rate(2GB, depth16) = %.1f M/s, paper reports ~40 M/s", r2g/1e6)
+	}
+}
+
+// TestFig2PipeliningGain pins the ~8x claim: "with a simple software
+// pipelining strategy we can increase by a factor of eight the number
+// of transactions per second".
+func TestFig2PipeliningGain(t *testing.T) {
+	m := EP()
+	gain := m.RandomReadRate(2<<30, 16) / m.RandomReadRate(2<<30, 1)
+	if gain < 6 || gain > 11 {
+		t.Errorf("pipelining gain at 2GB = %.1fx, paper reports ~8x", gain)
+	}
+}
+
+func TestRandomReadRateDepthMonotonic(t *testing.T) {
+	m := EP()
+	for _, ws := range []int64{16 << 10, 4 << 20, 1 << 30} {
+		prev := 0.0
+		for depth := 1; depth <= 16; depth++ {
+			r := m.RandomReadRate(ws, depth)
+			if r < prev {
+				t.Errorf("rate decreased at ws=%d depth=%d", ws, depth)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestRandomReadRateWorkingSetSteps(t *testing.T) {
+	// The staircase of Fig. 2: each cache overflow loses throughput.
+	m := EP()
+	l1 := m.RandomReadRate(16<<10, 16)
+	l2 := m.RandomReadRate(128<<10, 16)
+	l3 := m.RandomReadRate(6<<20, 16)
+	mem := m.RandomReadRate(1<<30, 16)
+	if !(l1 >= l2 && l2 > l3 && l3 > mem) {
+		t.Errorf("rates not a staircase: L1=%.0fM L2=%.0fM L3=%.0fM DRAM=%.0fM",
+			l1/1e6, l2/1e6, l3/1e6, mem/1e6)
+	}
+	if l1 < 4*mem {
+		t.Errorf("cache-resident rate %.0fM not well above DRAM rate %.0fM", l1/1e6, mem/1e6)
+	}
+}
+
+func TestRandomReadRateDegenerateDepth(t *testing.T) {
+	m := EP()
+	if m.RandomReadRate(1<<20, 0) != m.RandomReadRate(1<<20, 1) {
+		t.Error("depth 0 should clamp to 1")
+	}
+}
+
+func TestAggregateReadRateBandwidthCap(t *testing.T) {
+	m := EP()
+	// 8 threads deep in DRAM must not exceed the socket bandwidth cap.
+	agg := m.AggregateReadRate(4<<30, 16, 16)
+	cap := m.MemBandwidthGBs * 1e9 / 64
+	if agg > cap*1.001 {
+		t.Errorf("aggregate rate %.0fM exceeds bandwidth cap %.0fM", agg/1e6, cap/1e6)
+	}
+	// Cache-resident aggregate is not capped.
+	small := m.AggregateReadRate(16<<10, 8, 16)
+	if small <= m.RandomReadRate(16<<10, 16) {
+		t.Error("aggregate cache rate did not scale with threads")
+	}
+}
+
+// TestFig3SocketCliff pins the headline of Fig. 3: "using 8 cores on
+// two sockets, we achieve the same processing rate of only 3 cores on a
+// single socket".
+func TestFig3SocketCliff(t *testing.T) {
+	m := EP()
+	const ws = 4 << 20 // the paper's fixed 4 MB buffer
+	r8x2 := m.FetchAddRate(ws, 8)
+	r3x1 := m.FetchAddRate(ws, 3)
+	ratio := r8x2 / r3x1
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("rate(8 threads, 2 sockets) / rate(3 threads, 1 socket) = %.2f, paper says ~1", ratio)
+	}
+}
+
+func TestFig3DropAcrossBoundary(t *testing.T) {
+	m := EP()
+	const ws = 4 << 20
+	r4 := m.FetchAddRate(ws, 4)
+	r5 := m.FetchAddRate(ws, 5)
+	if r5 >= r4 {
+		t.Errorf("no drop crossing the socket boundary: rate(4)=%.0fM rate(5)=%.0fM", r4/1e6, r5/1e6)
+	}
+}
+
+func TestFig3ScalesWithinSocket(t *testing.T) {
+	m := EP()
+	const ws = 4 << 20
+	prev := 0.0
+	for threads := 1; threads <= 4; threads++ {
+		r := m.FetchAddRate(ws, threads)
+		if r <= prev {
+			t.Errorf("fetch-add rate not increasing within socket at %d threads", threads)
+		}
+		prev = r
+	}
+}
+
+func TestFetchAddRateZeroThreads(t *testing.T) {
+	if EP().FetchAddRate(4<<20, 0) != 0 {
+		t.Error("0 threads should give 0 rate")
+	}
+}
+
+// TestChannelPerVertexCost pins the ~30 ns per-vertex channel claim.
+func TestChannelPerVertexCost(t *testing.T) {
+	m := EX()
+	total := m.ChannelBatchNS(10000, 64)
+	per := total / 10000
+	if per < 15 || per > 45 {
+		t.Errorf("channel cost = %.1f ns/vertex, paper reports ~30", per)
+	}
+}
+
+func TestChannelBatchingAmortizes(t *testing.T) {
+	m := EX()
+	batched := m.ChannelBatchNS(10000, 64)
+	unbatched := m.ChannelBatchNS(10000, 1)
+	if batched >= unbatched {
+		t.Errorf("batching does not help: batched=%.0f unbatched=%.0f", batched, unbatched)
+	}
+}
+
+func TestChannelZeroCount(t *testing.T) {
+	if EX().ChannelBatchNS(0, 64) != 0 {
+		t.Error("zero vertices should cost nothing")
+	}
+}
+
+func TestBarrierGrowsWithThreads(t *testing.T) {
+	m := EX()
+	if m.BarrierNS(64) <= m.BarrierNS(8) {
+		t.Error("barrier cost should grow with threads")
+	}
+}
+
+func TestModelsForBothMachines(t *testing.T) {
+	ep, ex := EP(), EX()
+	if ep.Topo.Name != topology.NehalemEP.Name {
+		t.Error("EP model has wrong topology")
+	}
+	if ex.Topo.Name != topology.NehalemEX.Name {
+		t.Error("EX model has wrong topology")
+	}
+	// EX has the bigger L3: its 16 MB working set is still L3-resident.
+	if ex.LevelOf(16<<20) != L3 {
+		t.Error("16MB should be L3-resident on EX")
+	}
+	if ep.LevelOf(16<<20) != DRAM {
+		t.Error("16MB should spill to DRAM on EP")
+	}
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/rng"
+)
+
+// This file contains the *measured* counterparts of Figs. 2 and 3: the
+// same microbenchmarks the paper runs, executed on the host. The
+// simulated curves come from the Model; these functions let the harness
+// print host-measured rows next to them.
+
+// MeasureRandomReadRate measures the host's sustained random-read rate
+// (reads/second) over a working set of ws bytes with `depth`
+// independent dependency chains in flight — the software-pipelining
+// experiment of Fig. 2.
+//
+// The working set is a permutation array walked as a linked cycle, the
+// standard technique to defeat both the hardware prefetcher and
+// out-of-order speculation: with depth=1 every load depends on the
+// previous one and memory-level parallelism is impossible; with
+// depth=k, k interleaved and independent cycles let the memory system
+// overlap up to k misses, exactly like the paper's batch of up to 16
+// outstanding requests.
+func MeasureRandomReadRate(ws int64, depth int, duration time.Duration) float64 {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 64 {
+		depth = 64
+	}
+	n := int(ws / 8)
+	if n < depth*2 {
+		n = depth * 2
+	}
+	// Build one random cycle per chain, interleaved over the same array
+	// so the combined footprint is ws. Chain c owns the indices
+	// congruent to c mod depth; a Sattolo shuffle of each class links it
+	// into a single cycle.
+	arr := make([]uint64, n)
+	r := rng.New(uint64(ws) ^ uint64(depth)<<32 ^ 0x9e3779b9)
+	for c := 0; c < depth; c++ {
+		// Collect this chain's slots.
+		var slots []int
+		for i := c; i < n; i += depth {
+			slots = append(slots, i)
+		}
+		// Sattolo's algorithm: a single cycle over the slots.
+		order := make([]int, len(slots))
+		copy(order, slots)
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i)
+			order[i], order[j] = order[j], order[i]
+		}
+		for i := 0; i < len(order); i++ {
+			arr[order[i]] = uint64(order[(i+1)%len(order)])
+		}
+	}
+
+	// Warm up the page tables.
+	var sink uint64
+	for i := 0; i < n; i += 512 {
+		sink += arr[i]
+	}
+
+	cursors := make([]uint64, depth)
+	for c := 0; c < depth; c++ {
+		cursors[c] = uint64(c % n)
+	}
+	reads := 0
+	start := time.Now()
+	for time.Since(start) < duration {
+		// An inner block keeps the timing call off the hot path.
+		for b := 0; b < 1024; b++ {
+			for c := 0; c < depth; c++ {
+				cursors[c] = arr[cursors[c]]
+			}
+		}
+		reads += 1024 * depth
+	}
+	elapsed := time.Since(start).Seconds()
+	for _, c := range cursors {
+		sink += c
+	}
+	runtime.KeepAlive(sink)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(reads) / elapsed
+}
+
+// MeasureFetchAddRate measures the host's aggregate atomic
+// fetch-and-add rate (ops/second) with `threads` goroutines hammering
+// random slots of a shared buffer of ws bytes — the experiment of
+// Fig. 3.
+func MeasureFetchAddRate(ws int64, threads int, duration time.Duration) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	n := int(ws / 8)
+	if n < 1 {
+		n = 1
+	}
+	buf := make([]int64, n)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rng.New(uint64(t)*0x9e3779b97f4a7c15 + 1)
+			ops := int64(0)
+			mask := uint64(0)
+			pow2 := 1
+			for pow2*2 <= n {
+				pow2 *= 2
+			}
+			mask = uint64(pow2 - 1)
+			for {
+				select {
+				case <-stop:
+					total.Add(ops)
+					return
+				default:
+				}
+				for b := 0; b < 512; b++ {
+					idx := r.Uint64() & mask
+					atomic.AddInt64(&buf[idx], 1)
+				}
+				ops += 512
+			}
+		}(t)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	runtime.KeepAlive(buf)
+	return float64(total.Load()) / duration.Seconds()
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureRandomReadRatePositive(t *testing.T) {
+	r := MeasureRandomReadRate(1<<16, 4, 20*time.Millisecond)
+	if r <= 0 {
+		t.Errorf("rate = %v", r)
+	}
+}
+
+func TestMeasureRandomReadRateDepthClamps(t *testing.T) {
+	if r := MeasureRandomReadRate(1<<14, 0, 10*time.Millisecond); r <= 0 {
+		t.Error("depth 0 should clamp to 1")
+	}
+	if r := MeasureRandomReadRate(1<<14, 1000, 10*time.Millisecond); r <= 0 {
+		t.Error("huge depth should clamp")
+	}
+}
+
+// TestMeasuredPipeliningHelpsInDRAM is the real-hardware analogue of
+// Fig. 2's central claim: independent chains overlap misses, dependent
+// ones cannot. Even a single modern core shows a clear gain once the
+// working set spills out of cache.
+func TestMeasuredPipeliningHelpsInDRAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory benchmark")
+	}
+	const ws = 96 << 20 // far beyond any L3
+	d1 := MeasureRandomReadRate(ws, 1, 150*time.Millisecond)
+	d8 := MeasureRandomReadRate(ws, 8, 150*time.Millisecond)
+	if d8 < 1.5*d1 {
+		t.Errorf("MLP gain only %.2fx (d1=%.1fM/s d8=%.1fM/s); expected clear overlap",
+			d8/d1, d1/1e6, d8/1e6)
+	}
+}
+
+// TestMeasuredCacheVsDRAM verifies the working-set staircase on the
+// host: cache-resident random reads are much faster than DRAM-resident
+// ones.
+func TestMeasuredCacheVsDRAM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory benchmark")
+	}
+	small := MeasureRandomReadRate(16<<10, 1, 100*time.Millisecond)
+	big := MeasureRandomReadRate(96<<20, 1, 120*time.Millisecond)
+	if small < 3*big {
+		t.Errorf("cache rate %.1fM/s not well above DRAM rate %.1fM/s", small/1e6, big/1e6)
+	}
+}
+
+func TestMeasureFetchAddRatePositive(t *testing.T) {
+	r := MeasureFetchAddRate(1<<16, 2, 20*time.Millisecond)
+	if r <= 0 {
+		t.Errorf("rate = %v", r)
+	}
+}
+
+func TestMeasureFetchAddRateThreadClamp(t *testing.T) {
+	if r := MeasureFetchAddRate(1<<14, 0, 10*time.Millisecond); r <= 0 {
+		t.Error("0 threads should clamp to 1")
+	}
+}

@@ -1,0 +1,108 @@
+package queue
+
+import "sync/atomic"
+
+// ChunkQueue is the shared vertex queue of the BFS (the paper's CQ and
+// NQ). It is a fixed-capacity array of vertex ids with two atomic
+// cursors:
+//
+//   - producers claim write ranges with one fetch-and-add on the tail
+//     (the paper's LockedEnqueue, batched);
+//   - consumers claim read chunks with one fetch-and-add on the head
+//     (the paper's LockedDequeue, batched).
+//
+// Within a BFS level the queue is append-only and consume-only, and the
+// level barrier orders all of one level's writes before the next level's
+// reads, which is exactly the paper's usage. A chunk claimed by a
+// consumer belongs to it exclusively, so element accesses need no
+// further synchronization on x86-like or Go-memory-model machines
+// (the atomic cursor operations publish the writes).
+type ChunkQueue struct {
+	buf  []uint32
+	head atomic.Int64
+	_    pad
+	tail atomic.Int64
+	_    pad
+}
+
+// NewChunkQueue returns a queue that can hold up to capacity vertices.
+func NewChunkQueue(capacity int) *ChunkQueue {
+	return &ChunkQueue{buf: make([]uint32, capacity)}
+}
+
+// PushBatch appends vals, claiming the destination range with a single
+// atomic add. It panics if the queue would overflow — in the BFS the
+// capacity is the vertex count and each vertex is enqueued at most once,
+// so overflow indicates a correctness bug, not a recoverable condition.
+func (q *ChunkQueue) PushBatch(vals []uint32) {
+	if len(vals) == 0 {
+		return
+	}
+	end := q.tail.Add(int64(len(vals)))
+	if end > int64(len(q.buf)) {
+		panic("queue: ChunkQueue overflow")
+	}
+	copy(q.buf[end-int64(len(vals)):end], vals)
+}
+
+// Push appends one vertex.
+func (q *ChunkQueue) Push(v uint32) {
+	end := q.tail.Add(1)
+	if end > int64(len(q.buf)) {
+		panic("queue: ChunkQueue overflow")
+	}
+	q.buf[end-1] = v
+}
+
+// PopChunk claims up to max elements and returns them as a subslice of
+// the queue's buffer (valid until Reset). It returns nil when the queue
+// is exhausted. The claimed elements are exclusively owned by the
+// caller.
+func (q *ChunkQueue) PopChunk(max int) []uint32 {
+	if max <= 0 {
+		return nil
+	}
+	limit := q.tail.Load()
+	for {
+		h := q.head.Load()
+		if h >= limit {
+			return nil
+		}
+		end := h + int64(max)
+		if end > limit {
+			end = limit
+		}
+		if q.head.CompareAndSwap(h, end) {
+			return q.buf[h:end]
+		}
+	}
+}
+
+// Len returns the number of unconsumed elements.
+func (q *ChunkQueue) Len() int {
+	n := q.tail.Load() - q.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Size returns the total number of elements pushed since the last Reset.
+func (q *ChunkQueue) Size() int { return int(q.tail.Load()) }
+
+// Cap returns the queue capacity.
+func (q *ChunkQueue) Cap() int { return len(q.buf) }
+
+// Reset empties the queue for reuse in the next BFS level. It must not
+// race with Push or Pop; the level barrier provides that exclusion.
+func (q *ChunkQueue) Reset() {
+	q.head.Store(0)
+	q.tail.Store(0)
+}
+
+// Slice returns the pushed contents [0, Size()). It is meant for the
+// level swap: after a barrier, the next-queue's contents become the
+// current level's work without copying.
+func (q *ChunkQueue) Slice() []uint32 {
+	return q.buf[:q.tail.Load()]
+}

@@ -1,0 +1,127 @@
+package queue
+
+import "sync/atomic"
+
+// segBits fixes the FastForward ring segment at 2^segBits slots; 4096
+// slots × 8 bytes = 32 KB, small enough to live in L1/L2 while a level
+// is streaming through it.
+const segBits = 12
+
+const segSize = 1 << segBits
+
+// segment is one FastForward ring. Slot state doubles as the
+// synchronization protocol: a zero slot is empty, a non-zero slot holds
+// an encoded value. Producer and consumer therefore make independent
+// progress without sharing head/tail indices — the property the paper
+// exploits to keep coherence traffic off the critical path.
+type segment struct {
+	slots [segSize]atomic.Uint64
+	next  atomic.Pointer[segment]
+}
+
+// SPSC is an unbounded single-producer/single-consumer queue of uint64
+// values in [0, 2^63): one goroutine may call Enqueue and one goroutine
+// may call Dequeue concurrently. The core is the FastForward protocol;
+// when a segment fills, the producer links a fresh one, so a BFS level
+// can never deadlock on a full ring (a fixed ring would: in the paper's
+// two-phase schedule nothing drains the channel until the level's
+// barrier).
+type SPSC struct {
+	// Producer-private state, padded away from the consumer's.
+	ptail uint64
+	pseg  *segment
+	_     pad
+	// Consumer-private state.
+	chead uint64
+	cseg  *segment
+	_     pad
+	// Approximate count of elements ever enqueued/dequeued, for stats.
+	enq atomic.Uint64
+	deq atomic.Uint64
+}
+
+// NewSPSC returns an empty queue.
+func NewSPSC() *SPSC {
+	s := &segment{}
+	return &SPSC{pseg: s, cseg: s}
+}
+
+// maxValue is the largest value Enqueue accepts. Values are stored
+// +1 so the zero word can mean "empty"; the top bit is kept clear so the
+// encoding never wraps.
+const maxValue = 1<<63 - 2
+
+// Enqueue appends v to the queue. It never blocks: if the current
+// segment is full it links a new one. It must be called by at most one
+// goroutine at a time. v must be <= maxValue; values outside the range
+// panic, because silently truncating a vertex id would corrupt the BFS.
+func (q *SPSC) Enqueue(v uint64) {
+	if v > maxValue {
+		panic("queue: SPSC value out of range")
+	}
+	idx := q.ptail & (segSize - 1)
+	slot := &q.pseg.slots[idx]
+	if slot.Load() != 0 {
+		// Ring is full at this position: the consumer is at least a full
+		// segment behind. Link a fresh segment and continue there.
+		ns := &segment{}
+		q.pseg.next.Store(ns)
+		q.pseg = ns
+		q.ptail = 0
+		slot = &ns.slots[0]
+	}
+	slot.Store(v + 1)
+	q.ptail++
+	q.enq.Add(1)
+}
+
+// Dequeue removes and returns the oldest value. ok is false if the
+// queue appeared empty. It must be called by at most one goroutine at a
+// time.
+//
+// Segment-advance invariant: the producer abandons a segment only when
+// it wraps onto a still-unconsumed slot, i.e. when exactly one segment's
+// worth of items is outstanding. The consumer therefore sees a zero slot
+// in a segment with a non-nil next pointer only after it has drained
+// every item the producer wrote there, so advancing is always safe.
+func (q *SPSC) Dequeue() (v uint64, ok bool) {
+	idx := q.chead & (segSize - 1)
+	slot := &q.cseg.slots[idx]
+	x := slot.Load()
+	if x == 0 {
+		next := q.cseg.next.Load()
+		if next == nil {
+			return 0, false
+		}
+		// Re-check the slot after observing the link. Between the first
+		// load and the next.Load the producer may have filled the entire
+		// ring (making our slot non-empty again) and then abandoned it;
+		// advancing on the stale zero would skip a full segment. The
+		// producer's old-segment writes all precede its next.Store, so
+		// once next is visible a zero slot genuinely means drained.
+		x = slot.Load()
+		if x == 0 {
+			q.cseg = next
+			q.chead = 0
+			slot = &q.cseg.slots[0]
+			x = slot.Load()
+			if x == 0 {
+				return 0, false
+			}
+		}
+	}
+	slot.Store(0)
+	q.chead++
+	q.deq.Add(1)
+	return x - 1, true
+}
+
+// Len returns the approximate number of queued elements. Exact when no
+// operation is concurrently in flight.
+func (q *SPSC) Len() int {
+	e, d := q.enq.Load(), q.deq.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}

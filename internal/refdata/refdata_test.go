@@ -1,0 +1,86 @@
+package refdata
+
+import "testing"
+
+func TestTableIIHasPaperSystems(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range TableII {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"Nehalem-EX", "Nehalem-EP", "Cray XMT", "Cray MTA-2"} {
+		if !names[want] {
+			t.Errorf("Table II missing %s", want)
+		}
+	}
+}
+
+func TestTableIIShapes(t *testing.T) {
+	for _, s := range TableII {
+		if s.Name == "" || s.SpeedGHz <= 0 || s.Sockets < 1 || s.MemoryGB <= 0 {
+			t.Errorf("malformed row: %+v", s)
+		}
+	}
+	// Spot checks against Table I/II.
+	for _, s := range TableII {
+		switch s.Name {
+		case "Nehalem-EX":
+			if s.Threads != 64 || s.MemoryGB != 256 {
+				t.Errorf("EX row wrong: %+v", s)
+			}
+		case "Cray XMT":
+			if s.Sockets != 128 || s.MemoryGB != 1024 {
+				t.Errorf("XMT row wrong: %+v", s)
+			}
+		}
+	}
+}
+
+func TestTableIIIAnchorsPresent(t *testing.T) {
+	xmt := Find("Cray XMT", "Uniformly Random")
+	if xmt == nil || xmt.RateMEs != 210 || xmt.Processors != 128 {
+		t.Errorf("XMT row wrong: %+v", xmt)
+	}
+	mta := Find("Cray MTA-2", "R-MAT")
+	if mta == nil || mta.RateMEs != 500 || mta.Vertices != 200_000_000 {
+		t.Errorf("MTA-2 row wrong: %+v", mta)
+	}
+	bgl := Find("IBM BlueGene/L", "Peak d=50")
+	if bgl == nil || bgl.RateMEs != 232 || bgl.Processors != 256 {
+		t.Errorf("BG/L row wrong: %+v", bgl)
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	if Find("Nonexistent", "whatever") != nil {
+		t.Error("Find invented a row")
+	}
+}
+
+func TestHeadlines(t *testing.T) {
+	hs := Headlines()
+	if len(hs) != 3 {
+		t.Fatalf("want 3 headline comparisons, got %d", len(hs))
+	}
+	if hs[0].ClaimedFactor != 2.4 {
+		t.Errorf("XMT claim factor = %v, want 2.4", hs[0].ClaimedFactor)
+	}
+	if hs[2].ClaimedFactor != 5.0 {
+		t.Errorf("BG/L claim factor = %v, want 5", hs[2].ClaimedFactor)
+	}
+	for _, h := range hs {
+		if h.Row.RateMEs <= 0 || h.Description == "" {
+			t.Errorf("malformed headline: %+v", h)
+		}
+	}
+}
+
+func TestAllRowsPlausible(t *testing.T) {
+	for _, r := range TableIII {
+		if r.RateMEs <= 0 || r.RateMEs > 10_000 {
+			t.Errorf("implausible rate in row %+v", r)
+		}
+		if r.Reference == "" || r.System == "" {
+			t.Errorf("unattributed row %+v", r)
+		}
+	}
+}

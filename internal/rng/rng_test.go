@@ -1,0 +1,249 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// The seed-0 sequence is the canonical test vector published with the
+	// reference C implementation (Vigna, 2015); the seed-1234567 values
+	// are a stability snapshot of this implementation.
+	s0 := NewSplitMix64(0)
+	if got := s0.Uint64(); got != 0xe220a8397b1dcdaf {
+		t.Errorf("SplitMix64(0) first output = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+	if got := s0.Uint64(); got != 0x6e789e6aa1b965f4 {
+		t.Errorf("SplitMix64(0) second output = %#x, want 0x6e789e6aa1b965f4", got)
+	}
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	x := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 5} {
+		for i := 0; i < 200; i++ {
+			if v := x.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d, out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nOne(t *testing.T) {
+	x := New(7)
+	for i := 0; i < 50; i++ {
+		if v := x.Uint64n(1); v != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared sanity check over 16 buckets.
+	x := New(2024)
+	const buckets = 16
+	const samples = 160000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[x.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is ~37.7.
+	if chi2 > 37.7 {
+		t.Errorf("chi-squared = %.2f, distribution looks non-uniform", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v, out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestJumpProducesDisjointStreams(t *testing.T) {
+	a := New(11)
+	b := *a
+	b.Jump()
+	// The jumped stream must not coincide with the original for a long
+	// prefix (they are 2^128 steps apart).
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("jumped stream collided with base stream at step %d", i)
+		}
+	}
+}
+
+func TestSplitAdvancesParent(t *testing.T) {
+	parent := New(13)
+	reference := New(13)
+	child := parent.Split()
+	reference.Jump()
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != reference.Uint64() {
+			t.Fatalf("parent after Split does not match Jump at step %d", i)
+		}
+	}
+	// Child must replay the original stream.
+	orig := New(13)
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != orig.Uint64() {
+			t.Fatalf("child stream does not match pre-split stream at step %d", i)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(3)
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		p := make([]uint32, n)
+		x.Perm(p)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				t.Fatalf("Perm(%d) produced invalid permutation", n)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	x := New(8)
+	p := make([]uint32, 100)
+	x.Perm(p)
+	inPlace := 0
+	for i, v := range p {
+		if int(v) == i {
+			inPlace++
+		}
+	}
+	// Expected number of fixed points of a random permutation is 1.
+	if inPlace > 10 {
+		t.Errorf("%d fixed points out of 100; Perm may not be shuffling", inPlace)
+	}
+}
+
+func TestQuickUint64nAlwaysInRange(t *testing.T) {
+	x := New(77)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return x.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSameSeedSameStream(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(steps); i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiroUint64n(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64n(1000003)
+	}
+	_ = sink
+}

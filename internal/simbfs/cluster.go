@@ -1,0 +1,170 @@
+package simbfs
+
+import (
+	"fmt"
+
+	"mcbfs/internal/machine"
+)
+
+// Cluster projection: the paper's Section V proposes mapping the
+// exploration onto distributed-memory machines built from nodes like
+// the ones evaluated, joined by "high-performance, low-latency
+// communication networks". Package dist implements that algorithm over
+// in-process nodes; this file prices it at scale, composing the
+// per-node machine model with a simple network model, so the projected
+// scaling curve — and the point where the network, not the socket,
+// becomes the wall — can be examined at paper-era parameters.
+
+// Network models the interconnect between cluster nodes.
+type Network struct {
+	// LatencyUS is the one-way small-message latency in microseconds
+	// (PGAS-era InfiniBand QDR: ~1.5 us).
+	LatencyUS float64
+	// BandwidthGBs is the per-node injection bandwidth in GB/s
+	// (IB QDR: ~3.2 GB/s effective).
+	BandwidthGBs float64
+}
+
+// InfiniBandQDR is a 2010-era low-latency cluster interconnect, the
+// class of network the paper's conclusion targets.
+var InfiniBandQDR = Network{LatencyUS: 1.5, BandwidthGBs: 3.2}
+
+// TenGigE is the commodity alternative: an order of magnitude more
+// latency.
+var TenGigE = Network{LatencyUS: 15, BandwidthGBs: 1.1}
+
+// ClusterConfig describes one projected cluster run.
+type ClusterConfig struct {
+	// Node is the per-node machine model.
+	Node machine.Model
+	// ThreadsPerNode is the hardware threads used per node.
+	ThreadsPerNode int
+	// Nodes is the node count.
+	Nodes int
+	// Net is the interconnect model.
+	Net Network
+	// BatchSize is the message aggregation unit in tuples; 0 means one
+	// message per destination per level (pure level aggregation).
+	BatchSize int
+}
+
+// ClusterResult is the projected outcome.
+type ClusterResult struct {
+	// Seconds is the projected BFS time.
+	Seconds float64
+	// RatePerSec is m_a / Seconds.
+	RatePerSec float64
+	// CommFraction is the share of time spent in the exchange phase.
+	CommFraction float64
+	// Levels is the BFS depth.
+	Levels int
+}
+
+// SimulateCluster prices a distributed BFS of workload w on the
+// cluster: each level costs the slowest node's local expansion (the
+// intra-node costs follow SimulateBest's channel tier) plus the
+// all-to-all exchange of remote tuples (alpha-beta network model with
+// per-destination aggregation), plus a log-depth allreduce for
+// termination.
+func SimulateCluster(w Workload, cfg ClusterConfig) (ClusterResult, error) {
+	p := cfg.Nodes
+	if p < 1 {
+		return ClusterResult{}, fmt.Errorf("simbfs: node count %d must be >= 1", p)
+	}
+	threads := cfg.ThreadsPerNode
+	if threads < 1 {
+		threads = cfg.Node.Topo.TotalThreads()
+	}
+	batch := cfg.BatchSize
+
+	// Local work: each node runs the multi-socket algorithm over its
+	// 1/p slice of every level. Approximate by pricing the whole-level
+	// compute at one node's throughput over a 1/p workload share, with
+	// the remote fraction of *cluster* edges handled by the network
+	// instead of the inter-socket channels.
+	remoteFrac := float64(p-1) / float64(p)
+
+	levels := w.Levels()
+	var totalNS, commNS, edges float64
+	for _, l := range levels {
+		edges += l.Edges
+
+		// Per-node shares of the level.
+		nodeEdges := l.Edges / float64(p)
+		nodeFrontier := l.Frontier / float64(p)
+		nodeDiscovered := l.Discovered / float64(p)
+
+		// Intra-node compute priced with the same components as the
+		// shared-memory simulator's channel tier, on the node's slice.
+		nodeW := Workload{Kind: w.Kind, N: w.N / float64(p), Degree: w.Degree}
+		perEdge := perEdgeNS(nodeW, cfg.Node, threads)
+		perVertex := perVertexNS(nodeW, cfg.Node)
+		compute := nodeEdges*perEdge + (nodeFrontier+nodeDiscovered)*perVertex
+		eff := effectiveThreads(cfg.Node, threads)
+		if nodeFrontier+1 < float64(threads) {
+			frac := (nodeFrontier + 1) / float64(threads)
+			if e := eff * frac; e >= 1 {
+				eff = e
+			} else {
+				eff = 1
+			}
+		}
+		computeNS := compute / eff
+
+		// Exchange: each node sends remoteFrac of its scanned edges as
+		// 8-byte tuples, aggregated per destination. alpha-beta: each
+		// message costs latency; the payload is bandwidth-bound on the
+		// injection port.
+		tuplesOut := nodeEdges * remoteFrac
+		bytesOut := tuplesOut * 8
+		msgs := float64(p - 1) // one aggregate per destination per level
+		if batch > 0 && tuplesOut > 0 {
+			perDest := tuplesOut / float64(p-1)
+			if extra := perDest / float64(batch); extra > 1 {
+				msgs = float64(p-1) * extra
+			}
+		}
+		netNS := msgs*cfg.Net.LatencyUS*1e3 + bytesOut/cfg.Net.BandwidthGBs
+		// Termination allreduce: log2(p) latency hops.
+		allreduceNS := log2ceil(p) * cfg.Net.LatencyUS * 1e3
+
+		levelNS := computeNS + netNS + allreduceNS + cfg.Node.BarrierNS(threads)
+		totalNS += levelNS
+		commNS += netNS + allreduceNS
+	}
+
+	res := ClusterResult{
+		Seconds: totalNS / 1e9,
+		Levels:  len(levels),
+	}
+	if res.Seconds > 0 {
+		res.RatePerSec = edges / res.Seconds
+		res.CommFraction = commNS / totalNS
+	}
+	return res, nil
+}
+
+// perEdgeNS and perVertexNS expose the shared-memory simulator's cost
+// split for reuse by the cluster projection.
+func perEdgeNS(w Workload, m machine.Model, threads int) float64 {
+	sockets := m.Topo.SocketsForThreads(threads)
+	bitmapWS := int64(w.N / 8 / float64(sockets))
+	probeNS := 1e9 / m.RandomReadRate(bitmapWS, m.Topo.MaxOutstanding)
+	sockRemote := float64(sockets-1) / float64(sockets)
+	tupleNS := m.ChannelBatchNS(64, 64)/64 + recvClaimNS + tupleContentionNS*float64(sockets-1)
+	return streamEdgeNS + probeNS + sockRemote*tupleNS
+}
+
+func perVertexNS(w Workload, m machine.Model) float64 {
+	offsetsWS := int64(w.N * 8)
+	vertexReadNS := m.RandomReadLatencyNS(offsetsWS)
+	return float64(vertexOverheadReads)*vertexReadNS + m.AtomicLocalNS + batchedQueueOpNS
+}
+
+func log2ceil(p int) float64 {
+	c := 0.0
+	for v := 1; v < p; v *= 2 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package simbfs
+
+import (
+	"testing"
+
+	"mcbfs/internal/machine"
+)
+
+func clusterCfg(nodes int, net Network) ClusterConfig {
+	return ClusterConfig{
+		Node:           machine.EX(),
+		ThreadsPerNode: 64,
+		Nodes:          nodes,
+		Net:            net,
+		BatchSize:      4096,
+	}
+}
+
+func TestClusterSingleNodeMatchesSharedMemoryScale(t *testing.T) {
+	// One node, no network: the projection should land in the same
+	// ballpark as the shared-memory simulator (same cost components,
+	// coarser composition).
+	w := uniform(32e6, 16)
+	c, err := SimulateCluster(w, clusterCfg(1, InfiniBandQDR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SimulateBest(w, machine.EX(), 64)
+	ratio := c.RatePerSec / s.RatePerSec
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("single-node cluster rate %.0f ME/s vs shared-memory %.0f ME/s (ratio %.2f)",
+			c.RatePerSec/1e6, s.RatePerSec/1e6, ratio)
+	}
+	if c.CommFraction != 0 {
+		t.Errorf("single node should spend nothing on the network, got %.2f", c.CommFraction)
+	}
+}
+
+func TestClusterScalesThenSaturates(t *testing.T) {
+	// The projection must show the Section V story: more nodes help on
+	// a fast network, but the communication share grows with the
+	// (p-1)/p remote fraction.
+	w := uniform(128e6, 16)
+	var prevRate float64
+	var comm4, comm16 float64
+	for _, p := range []int{1, 4, 16} {
+		c, err := SimulateCluster(w, clusterCfg(p, InfiniBandQDR))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 1 && c.RatePerSec <= prevRate {
+			t.Errorf("no scaling from more nodes at p=%d: %.0f -> %.0f ME/s",
+				p, prevRate/1e6, c.RatePerSec/1e6)
+		}
+		prevRate = c.RatePerSec
+		if p == 4 {
+			comm4 = c.CommFraction
+		}
+		if p == 16 {
+			comm16 = c.CommFraction
+		}
+	}
+	if comm16 <= comm4 {
+		t.Errorf("communication share should grow with nodes: p=4 %.2f, p=16 %.2f", comm4, comm16)
+	}
+}
+
+func TestClusterFastNetworkBeatsSlow(t *testing.T) {
+	// The paper's call for "low-latency communication networks": at the
+	// same node count, IB beats 10GigE.
+	w := uniform(128e6, 16)
+	ib, err := SimulateCluster(w, clusterCfg(8, InfiniBandQDR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, err := SimulateCluster(w, clusterCfg(8, TenGigE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.RatePerSec <= eth.RatePerSec {
+		t.Errorf("InfiniBand (%.0f ME/s) should beat 10GigE (%.0f ME/s)",
+			ib.RatePerSec/1e6, eth.RatePerSec/1e6)
+	}
+	if eth.CommFraction <= ib.CommFraction {
+		t.Error("slower network should spend a larger share communicating")
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	if _, err := SimulateCluster(uniform(1e6, 8), clusterCfg(0, InfiniBandQDR)); err == nil {
+		t.Error("0 nodes accepted")
+	}
+}
+
+func TestClusterDefaultsThreads(t *testing.T) {
+	cfg := clusterCfg(2, InfiniBandQDR)
+	cfg.ThreadsPerNode = 0 // should default to the node's full threads
+	c, err := SimulateCluster(uniform(16e6, 8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RatePerSec <= 0 {
+		t.Error("no rate with defaulted threads")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	w := uniform(64e6, 16)
+	a, _ := SimulateCluster(w, clusterCfg(8, InfiniBandQDR))
+	b, _ := SimulateCluster(w, clusterCfg(8, InfiniBandQDR))
+	if a != b {
+		t.Errorf("projection not deterministic: %+v vs %+v", a, b)
+	}
+}

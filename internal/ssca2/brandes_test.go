@@ -1,0 +1,157 @@
+package ssca2
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcbfs/internal/graph"
+)
+
+// bruteForceBetweenness computes exact betweenness centrality by
+// explicit shortest-path counting: for every ordered pair (s, t), every
+// interior vertex v on a shortest s-t path contributes
+// sigma_st(v)/sigma_st to v's score. Exponential-free but O(n^2 * m),
+// fine for the tiny graphs quick.Check generates.
+func bruteForceBetweenness(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	scores := make([]float64, n)
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// BFS with path counting from s.
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		frontier := []graph.Vertex{graph.Vertex(s)}
+		var order []graph.Vertex
+		for len(frontier) > 0 {
+			var next []graph.Vertex
+			for _, u := range frontier {
+				for _, v := range g.Neighbors(u) {
+					if dist[v] == -1 {
+						dist[v] = dist[u] + 1
+						next = append(next, v)
+					}
+					if dist[v] == dist[u]+1 {
+						sigma[v] += sigma[u]
+					}
+				}
+			}
+			order = append(order, next...)
+			frontier = next
+		}
+		// Per-pair contributions, independently of Brandes' dependency
+		// trick: for each target t, count sigma_vt within the s-rooted
+		// shortest-path DAG by dynamic programming in decreasing-distance
+		// order; the number of shortest s-t paths through interior v is
+		// then sigma_sv * sigma_vt, out of sigma_st total.
+		pathsToT := make([]float64, n)
+		for t := 0; t < n; t++ {
+			if t == s || dist[t] <= 0 {
+				continue
+			}
+			for i := range pathsToT {
+				pathsToT[i] = 0
+			}
+			pathsToT[t] = 1
+			// order lists reached vertices in non-decreasing distance;
+			// walk it backwards so successors are final before u.
+			for i := len(order) - 1; i >= 0; i-- {
+				u := order[i]
+				if int(u) == t || dist[u] >= dist[t] {
+					continue
+				}
+				pathsToT[u] = pathsToTSum(g, u, dist, pathsToT)
+			}
+			for v := 0; v < n; v++ {
+				if v == s || v == t || dist[v] <= 0 || dist[v] >= dist[t] {
+					continue
+				}
+				if sigma[t] > 0 {
+					scores[v] += sigma[v] * pathsToT[v] / sigma[t]
+				}
+			}
+		}
+	}
+	return scores
+}
+
+// pathsToTSum sums the DAG-successor path counts of u.
+func pathsToTSum(g *graph.Graph, u graph.Vertex, dist []int32, pathsToT []float64) float64 {
+	sum := 0.0
+	for _, w := range g.Neighbors(u) {
+		if dist[w] == dist[u]+1 {
+			sum += pathsToT[w]
+		}
+	}
+	return sum
+}
+
+func TestQuickKernel4MatchesBruteForce(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 10
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw) && len(edges) < 30; i += 2 {
+			u := graph.Vertex(raw[i] % n)
+			v := graph.Vertex(raw[i+1] % n)
+			if u == v {
+				continue // self-loops contribute nothing to betweenness
+			}
+			edges = append(edges, graph.Edge{Src: u, Dst: v})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		g = g.Deduplicate() // brute force assumes a simple graph
+		sources := make([]graph.Vertex, n)
+		for i := range sources {
+			sources[i] = graph.Vertex(i)
+		}
+		got, err := Kernel4(g, sources, 2)
+		if err != nil {
+			return false
+		}
+		want := bruteForceBetweenness(g)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernel4CycleGraph(t *testing.T) {
+	// Directed 5-cycle: between any ordered pair (s,t) there is exactly
+	// one path, passing through every intermediate vertex. Vertex v lies
+	// strictly inside the unique s->t path for pairs where v is interior:
+	// for a cycle of length L=5, each vertex is interior to
+	// (L-1)(L-2)/2 = 6 ordered pairs.
+	var edges []graph.Edge
+	const L = 5
+	for i := 0; i < L; i++ {
+		edges = append(edges, graph.Edge{Src: graph.Vertex(i), Dst: graph.Vertex((i + 1) % L)})
+	}
+	g, err := graph.FromEdges(L, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.Vertex{0, 1, 2, 3, 4}
+	bc, err := Kernel4(g, sources, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < L; v++ {
+		if math.Abs(bc[v]-6) > 1e-12 {
+			t.Errorf("BC(%d) = %v, want 6", v, bc[v])
+		}
+	}
+}

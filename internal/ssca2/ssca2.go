@@ -1,0 +1,357 @@
+// Package ssca2 implements the four kernels of the HPCS SSCA#2 graph
+// analysis benchmark, the workload family the paper's Fig. 10 and
+// Table III reference (Bader-Madduri report SSCA#2 rates on the
+// MTA-2). The kernels exercise the BFS library as the building block
+// the paper positions it to be:
+//
+//	K1  scalable data generation: a clustered, weighted directed graph;
+//	K2  classify large sets: find the maximum-weight edges;
+//	K3  subgraph extraction: the depth-bounded neighbourhood of each
+//	    K2 edge (a MaxLevels-bounded BFS per edge);
+//	K4  graph analysis: betweenness centrality via Brandes' algorithm,
+//	    one BFS plus one dependency sweep per source, parallel over
+//	    sources.
+package ssca2
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mcbfs/internal/core"
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/rng"
+)
+
+// WeightedGraph couples a CSR graph with one integer weight per edge
+// (Weights[i] belongs to Targets()[i]).
+type WeightedGraph struct {
+	*graph.Graph
+	Weights []uint32
+}
+
+// Params configures kernel 1 generation, mirroring the SSCA#2 written
+// specification's tunables at reduced defaults.
+type Params struct {
+	// N is the vertex count.
+	N int
+	// MaxCliqueSize bounds the clique sizes of the clustered structure.
+	MaxCliqueSize int
+	// InterCliqueFraction is the fraction of vertices with a remote
+	// relation.
+	InterCliqueFraction float64
+	// MaxWeight is the exclusive upper bound on edge weights (weights
+	// are uniform in [1, MaxWeight]).
+	MaxWeight uint32
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// DefaultParams returns a host-friendly configuration.
+func DefaultParams(n int) Params {
+	return Params{
+		N:                   n,
+		MaxCliqueSize:       8,
+		InterCliqueFraction: 0.2,
+		MaxWeight:           1 << 7,
+		Seed:                42,
+	}
+}
+
+// Kernel1 generates the SSCA#2 graph: the clustered topology of
+// gen.SSCA2 plus uniformly random integer edge weights.
+func Kernel1(p Params) (*WeightedGraph, error) {
+	if p.MaxWeight < 1 {
+		return nil, fmt.Errorf("ssca2: MaxWeight %d must be >= 1", p.MaxWeight)
+	}
+	g, err := gen.SSCA2(p.N, p.MaxCliqueSize, p.InterCliqueFraction, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed ^ 0x55ca2)
+	weights := make([]uint32, g.NumEdges())
+	for i := range weights {
+		weights[i] = 1 + uint32(r.Uint64n(uint64(p.MaxWeight)))
+	}
+	return &WeightedGraph{Graph: g, Weights: weights}, nil
+}
+
+// HeavyEdge identifies one maximum-weight edge.
+type HeavyEdge struct {
+	Src, Dst graph.Vertex
+	Weight   uint32
+}
+
+// Kernel2 returns every edge whose weight equals the maximum edge
+// weight in the graph, scanning edge ranges in parallel.
+func Kernel2(wg *WeightedGraph) ([]HeavyEdge, error) {
+	if wg == nil || wg.Graph == nil {
+		return nil, errors.New("ssca2: nil graph")
+	}
+	if int64(len(wg.Weights)) != wg.NumEdges() {
+		return nil, fmt.Errorf("ssca2: %d weights for %d edges", len(wg.Weights), wg.NumEdges())
+	}
+	if len(wg.Weights) == 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(wg.Weights) {
+		workers = len(wg.Weights)
+	}
+	maxes := make([]uint32, workers)
+	var wgp sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(wg.Weights) * w / workers
+		hi := len(wg.Weights) * (w + 1) / workers
+		wgp.Add(1)
+		go func(w, lo, hi int) {
+			defer wgp.Done()
+			var m uint32
+			for _, x := range wg.Weights[lo:hi] {
+				if x > m {
+					m = x
+				}
+			}
+			maxes[w] = m
+		}(w, lo, hi)
+	}
+	wgp.Wait()
+	var max uint32
+	for _, m := range maxes {
+		if m > max {
+			max = m
+		}
+	}
+	// Second pass: collect the maxima with their source vertices.
+	var heavy []HeavyEdge
+	offsets := wg.Offsets()
+	targets := wg.Targets()
+	for u := 0; u < wg.NumVertices(); u++ {
+		for i := offsets[u]; i < offsets[u+1]; i++ {
+			if wg.Weights[i] == max {
+				heavy = append(heavy, HeavyEdge{
+					Src: graph.Vertex(u), Dst: targets[i], Weight: max,
+				})
+			}
+		}
+	}
+	return heavy, nil
+}
+
+// Subgraph is the K3 output for one heavy edge: the set of vertices
+// within the depth bound of the edge's head.
+type Subgraph struct {
+	Edge     HeavyEdge
+	Vertices []graph.Vertex
+}
+
+// Kernel3 extracts, for each heavy edge, the subgraph reachable from
+// the edge's head within maxDepth hops — a MaxLevels-bounded BFS per
+// edge, run with opt's algorithm tier.
+func Kernel3(wg *WeightedGraph, heavy []HeavyEdge, maxDepth int, opt core.Options) ([]Subgraph, error) {
+	if wg == nil || wg.Graph == nil {
+		return nil, errors.New("ssca2: nil graph")
+	}
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("ssca2: maxDepth %d must be >= 1", maxDepth)
+	}
+	opt.MaxLevels = maxDepth
+	out := make([]Subgraph, 0, len(heavy))
+	for _, e := range heavy {
+		res, err := core.BFS(wg.Graph, e.Dst, opt)
+		if err != nil {
+			return nil, err
+		}
+		var verts []graph.Vertex
+		for v, p := range res.Parents {
+			if p != core.NoParent {
+				verts = append(verts, graph.Vertex(v))
+			}
+		}
+		out = append(out, Subgraph{Edge: e, Vertices: verts})
+	}
+	return out, nil
+}
+
+// Kernel4 computes betweenness centrality by Brandes' algorithm on the
+// unweighted graph, sampling the given sources (pass all vertices for
+// exact centrality). Sources are processed in parallel: each worker
+// runs its own BFS with path counting and dependency accumulation, and
+// per-worker score vectors are reduced at the end. The per-source work
+// is one BFS plus one reverse sweep — the benchmark's whole point is
+// that BFS throughput bounds analysis throughput.
+func Kernel4(g *graph.Graph, sources []graph.Vertex, workers int) ([]float64, error) {
+	if g == nil {
+		return nil, errors.New("ssca2: nil graph")
+	}
+	n := g.NumVertices()
+	for _, s := range sources {
+		if int(s) >= n {
+			return nil, fmt.Errorf("ssca2: source %d out of range [0,%d)", s, n)
+		}
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scores := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, n)
+			st := newBrandesState(n)
+			for i := w; i < len(sources); i += workers {
+				st.accumulate(g, sources[i], local)
+			}
+			scores[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := make([]float64, n)
+	for _, local := range scores {
+		if local == nil {
+			continue
+		}
+		for v := range total {
+			total[v] += local[v]
+		}
+	}
+	return total, nil
+}
+
+// brandesState holds the per-worker scratch arrays of Brandes'
+// algorithm so repeated sources reuse allocations.
+type brandesState struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []graph.Vertex // vertices in BFS discovery order
+}
+
+func newBrandesState(n int) *brandesState {
+	return &brandesState{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		order: make([]graph.Vertex, 0, n),
+	}
+}
+
+// accumulate adds source s's dependency contributions to scores.
+func (st *brandesState) accumulate(g *graph.Graph, s graph.Vertex, scores []float64) {
+	for i := range st.dist {
+		st.dist[i] = -1
+		st.sigma[i] = 0
+		st.delta[i] = 0
+	}
+	st.order = st.order[:0]
+
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	frontier := []graph.Vertex{s}
+	st.order = append(st.order, s)
+	for len(frontier) > 0 {
+		var next []graph.Vertex
+		for _, u := range frontier {
+			du := st.dist[u]
+			for _, v := range g.Neighbors(u) {
+				if st.dist[v] == -1 {
+					st.dist[v] = du + 1
+					next = append(next, v)
+					st.order = append(st.order, v)
+				}
+				if st.dist[v] == du+1 {
+					st.sigma[v] += st.sigma[u]
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Reverse sweep: delta[u] += sigma[u]/sigma[v] * (1 + delta[v]) for
+	// each tree-DAG edge u->v with dist[v] = dist[u]+1.
+	for i := len(st.order) - 1; i >= 0; i-- {
+		u := st.order[i]
+		du := st.dist[u]
+		for _, v := range g.Neighbors(u) {
+			if st.dist[v] == du+1 && st.sigma[v] > 0 {
+				st.delta[u] += st.sigma[u] / st.sigma[v] * (1 + st.delta[v])
+			}
+		}
+		if u != s {
+			scores[u] += st.delta[u]
+		}
+	}
+}
+
+// RunAll executes the four kernels in sequence and returns a compact
+// report, the shape of a full SSCA#2 benchmark run.
+type Report struct {
+	Vertices    int
+	Edges       int64
+	MaxWeight   uint32
+	HeavyEdges  int
+	SubgraphSum int // total vertices across K3 subgraphs
+	TopVertex   graph.Vertex
+	TopScore    float64
+}
+
+// RunAll runs K1-K4 with the given parameters, K3 depth, and K4 source
+// sample count.
+func RunAll(p Params, k3Depth, k4Sources int, opt core.Options) (*Report, error) {
+	wg, err := Kernel1(p)
+	if err != nil {
+		return nil, err
+	}
+	heavy, err := Kernel2(wg)
+	if err != nil {
+		return nil, err
+	}
+	subs, err := Kernel3(wg, heavy, k3Depth, opt)
+	if err != nil {
+		return nil, err
+	}
+	if k4Sources > wg.NumVertices() {
+		k4Sources = wg.NumVertices()
+	}
+	sources := make([]graph.Vertex, k4Sources)
+	r := rng.New(p.Seed ^ 0xbead)
+	for i := range sources {
+		sources[i] = graph.Vertex(r.Intn(wg.NumVertices()))
+	}
+	scores, err := Kernel4(wg.Graph, sources, opt.Threads)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Vertices: wg.NumVertices(),
+		Edges:    wg.NumEdges(),
+	}
+	if len(heavy) > 0 {
+		rep.MaxWeight = heavy[0].Weight
+	}
+	rep.HeavyEdges = len(heavy)
+	for _, s := range subs {
+		rep.SubgraphSum += len(s.Vertices)
+	}
+	top := math.Inf(-1)
+	for v, s := range scores {
+		if s > top {
+			top, rep.TopVertex = s, graph.Vertex(v)
+		}
+	}
+	if !math.IsInf(top, -1) {
+		rep.TopScore = top
+	}
+	return rep, nil
+}

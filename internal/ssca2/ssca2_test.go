@@ -1,0 +1,307 @@
+package ssca2
+
+import (
+	"math"
+	"testing"
+
+	"mcbfs/internal/core"
+	"mcbfs/internal/graph"
+)
+
+func undirected(t *testing.T, n int, pairs [][2]graph.Vertex) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for _, p := range pairs {
+		edges = append(edges,
+			graph.Edge{Src: p[0], Dst: p[1]},
+			graph.Edge{Src: p[1], Dst: p[0]})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// --- Kernel 1 ---
+
+func TestKernel1Shapes(t *testing.T) {
+	wg, err := Kernel1(DefaultParams(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.NumVertices() != 2000 {
+		t.Errorf("vertices = %d", wg.NumVertices())
+	}
+	if int64(len(wg.Weights)) != wg.NumEdges() {
+		t.Fatalf("weights/edges mismatch: %d vs %d", len(wg.Weights), wg.NumEdges())
+	}
+	for i, w := range wg.Weights {
+		if w < 1 || w > 1<<7 {
+			t.Fatalf("weight %d at edge %d out of [1,128]", w, i)
+		}
+	}
+	if err := wg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernel1Deterministic(t *testing.T) {
+	a, err := Kernel1(DefaultParams(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Kernel1(DefaultParams(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+}
+
+func TestKernel1RejectsBadParams(t *testing.T) {
+	p := DefaultParams(100)
+	p.MaxWeight = 0
+	if _, err := Kernel1(p); err == nil {
+		t.Error("MaxWeight 0 accepted")
+	}
+	p = DefaultParams(0)
+	if _, err := Kernel1(p); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+// --- Kernel 2 ---
+
+func TestKernel2FindsMaximum(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := &WeightedGraph{Graph: g, Weights: []uint32{5, 9, 9, 3}}
+	heavy, err := Kernel2(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heavy) != 2 {
+		t.Fatalf("found %d heavy edges, want 2", len(heavy))
+	}
+	for _, h := range heavy {
+		if h.Weight != 9 {
+			t.Errorf("heavy edge weight %d, want 9", h.Weight)
+		}
+	}
+	if heavy[0].Src != 1 || heavy[0].Dst != 2 {
+		t.Errorf("first heavy edge = %+v", heavy[0])
+	}
+	if heavy[1].Src != 2 || heavy[1].Dst != 3 {
+		t.Errorf("second heavy edge = %+v", heavy[1])
+	}
+}
+
+func TestKernel2EmptyAndErrors(t *testing.T) {
+	if _, err := Kernel2(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	g, _ := graph.FromEdges(2, nil)
+	heavy, err := Kernel2(&WeightedGraph{Graph: g, Weights: nil})
+	if err != nil || heavy != nil {
+		t.Errorf("empty graph: %v %v", heavy, err)
+	}
+	g2, _ := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	if _, err := Kernel2(&WeightedGraph{Graph: g2, Weights: []uint32{1, 2}}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+}
+
+func TestKernel2OnGenerated(t *testing.T) {
+	wg, err := Kernel1(DefaultParams(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Kernel2(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heavy) == 0 {
+		t.Fatal("no heavy edges found")
+	}
+	var max uint32
+	for _, w := range wg.Weights {
+		if w > max {
+			max = w
+		}
+	}
+	count := 0
+	for _, w := range wg.Weights {
+		if w == max {
+			count++
+		}
+	}
+	if len(heavy) != count {
+		t.Errorf("found %d heavy edges, exhaustive scan says %d", len(heavy), count)
+	}
+}
+
+// --- Kernel 3 ---
+
+func TestKernel3DepthBound(t *testing.T) {
+	// Chain 0->1->2->3->4 with the heavy edge pointing at vertex 1.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := &WeightedGraph{Graph: g, Weights: []uint32{9, 1, 1, 1}}
+	heavy := []HeavyEdge{{Src: 0, Dst: 1, Weight: 9}}
+	subs, err := Kernel3(wg, heavy, 2, core.Options{Algorithm: core.AlgSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 {
+		t.Fatalf("got %d subgraphs", len(subs))
+	}
+	// Depth 2 from vertex 1: {1, 2, 3}.
+	want := map[graph.Vertex]bool{1: true, 2: true, 3: true}
+	if len(subs[0].Vertices) != len(want) {
+		t.Fatalf("subgraph = %v, want {1,2,3}", subs[0].Vertices)
+	}
+	for _, v := range subs[0].Vertices {
+		if !want[v] {
+			t.Errorf("unexpected vertex %d in subgraph", v)
+		}
+	}
+}
+
+func TestKernel3Errors(t *testing.T) {
+	if _, err := Kernel3(nil, nil, 2, core.Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g, _ := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	wg := &WeightedGraph{Graph: g, Weights: []uint32{1}}
+	if _, err := Kernel3(wg, nil, 0, core.Options{}); err == nil {
+		t.Error("depth 0 accepted")
+	}
+}
+
+// --- Kernel 4: hand-computed betweenness ---
+
+func TestKernel4PathGraph(t *testing.T) {
+	// Undirected path 0-1-2: BC(1) = 2 (ordered pairs (0,2) and (2,0)),
+	// endpoints 0.
+	g := undirected(t, 3, [][2]graph.Vertex{{0, 1}, {1, 2}})
+	all := []graph.Vertex{0, 1, 2}
+	bc, err := Kernel4(g, all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 2, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-12 {
+			t.Errorf("BC(%d) = %v, want %v", v, bc[v], want[v])
+		}
+	}
+}
+
+func TestKernel4StarGraph(t *testing.T) {
+	// Undirected star, center 0, spokes 1..4: BC(0) = 4*3 = 12.
+	g := undirected(t, 5, [][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	all := []graph.Vertex{0, 1, 2, 3, 4}
+	bc, err := Kernel4(g, all, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bc[0]-12) > 1e-12 {
+		t.Errorf("BC(center) = %v, want 12", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Errorf("BC(spoke %d) = %v, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestKernel4DiamondSplitsCredit(t *testing.T) {
+	// Undirected square 0-1-3-2-0: two shortest 0<->3 paths, each middle
+	// vertex carries half the credit per direction. BC(1) = BC(2) =
+	// 0.5*2 (pairs (0,3),(3,0)) = 1.
+	g := undirected(t, 4, [][2]graph.Vertex{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	all := []graph.Vertex{0, 1, 2, 3}
+	bc, err := Kernel4(g, all, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bc[1]-1) > 1e-12 || math.Abs(bc[2]-1) > 1e-12 {
+		t.Errorf("BC = %v, want [0 1 1 0]", bc)
+	}
+}
+
+func TestKernel4WorkerCountInvariance(t *testing.T) {
+	wg, err := Kernel1(DefaultParams(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.Vertex{0, 17, 99, 256, 512, 700}
+	a, err := Kernel4(wg.Graph, sources, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Kernel4(wg.Graph, sources, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-9 {
+			t.Fatalf("BC(%d) differs across worker counts: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+func TestKernel4Errors(t *testing.T) {
+	if _, err := Kernel4(nil, nil, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := undirected(t, 2, [][2]graph.Vertex{{0, 1}})
+	if _, err := Kernel4(g, []graph.Vertex{5}, 1); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	bc, err := Kernel4(g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range bc {
+		if s != 0 {
+			t.Error("no sources should give zero scores")
+		}
+	}
+}
+
+// --- RunAll ---
+
+func TestRunAllEndToEnd(t *testing.T) {
+	rep, err := RunAll(DefaultParams(1500), 2, 16, core.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vertices != 1500 || rep.Edges == 0 {
+		t.Errorf("report shape: %+v", rep)
+	}
+	if rep.HeavyEdges == 0 {
+		t.Error("no heavy edges")
+	}
+	if rep.SubgraphSum == 0 {
+		t.Error("empty K3 subgraphs")
+	}
+	if rep.TopScore <= 0 {
+		t.Error("no positive betweenness found")
+	}
+}

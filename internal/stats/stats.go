@@ -1,0 +1,151 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses to report rates the way the paper does:
+// millions/billions of edges per second, speedups over a baseline, and
+// simple aggregates over repeated runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FormatRate renders an edges-per-second rate in the paper's units
+// (ME/s below a billion, GE/s above).
+func FormatRate(eps float64) string {
+	switch {
+	case eps >= 1e9:
+		return fmt.Sprintf("%.2f GE/s", eps/1e9)
+	case eps >= 1e6:
+		return fmt.Sprintf("%.0f ME/s", eps/1e6)
+	case eps >= 1e3:
+		return fmt.Sprintf("%.1f KE/s", eps/1e3)
+	default:
+		return fmt.Sprintf("%.0f E/s", eps)
+	}
+}
+
+// FormatCount renders a vertex/edge count compactly (1M, 256M, 1B).
+func FormatCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000 && n%1_000_000_000 == 0:
+		return fmt.Sprintf("%dB", n/1_000_000_000)
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fB", float64(n)/1e9)
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dK", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice. The paper
+// reports best-of-several for rate numbers.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation of xs, or 0 when fewer
+// than two samples exist.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// HarmonicMean returns the harmonic mean of xs — the correct average
+// for rates like TEPS (Graph500 reports harmonic-mean TEPS across
+// roots). Returns 0 for an empty slice or any non-positive element.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by the
+// nearest-rank method on a sorted copy. Returns 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Speedups divides each rate by the first one, producing the series of
+// the paper's scalability plots (rate on t threads over rate on 1).
+func Speedups(rates []float64) []float64 {
+	out := make([]float64, len(rates))
+	if len(rates) == 0 || rates[0] == 0 {
+		return out
+	}
+	for i, r := range rates {
+		out[i] = r / rates[0]
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		eps  float64
+		want string
+	}{
+		{1.3e9, "1.30 GE/s"},
+		{550e6, "550 ME/s"},
+		{1.5e3, "1.5 KE/s"},
+		{42, "42 E/s"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.eps); got != c.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", c.eps, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{1_000_000_000, "1B"},
+		{1_500_000_000, "1.5B"},
+		{256_000_000, "256M"},
+		{1_500_000, "1.5M"},
+		{32_000, "32K"},
+		{999, "999"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.n); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMeanMedianMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Max(xs) != 5 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Errorf("even-length Median = %v", Median([]float64{1, 2, 3, 4}))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+	if len(Speedups(nil)) != 0 {
+		t.Error("Speedups(nil) not empty")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	got := StdDev(xs)
+	want := 2.138089935299395 // sample std dev
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single sample StdDev should be 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HarmonicMean(1,1,1) = %v", got)
+	}
+	// Classic: HM(40, 60) = 48.
+	if got := HarmonicMean([]float64{40, 60}); math.Abs(got-48) > 1e-12 {
+		t.Errorf("HarmonicMean(40,60) = %v, want 48", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+	if HarmonicMean([]float64{5, 0}) != 0 {
+		t.Error("non-positive element should yield 0")
+	}
+	// HM <= arithmetic mean always.
+	xs := []float64{3, 7, 11, 2}
+	if HarmonicMean(xs) > Mean(xs) {
+		t.Error("harmonic mean exceeded arithmetic mean")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 {
+		t.Errorf("q0 = %v", Quantile(xs, 0))
+	}
+	if Quantile(xs, 1) != 5 {
+		t.Errorf("q1 = %v", Quantile(xs, 1))
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s := Speedups([]float64{100, 200, 350})
+	if s[0] != 1 || s[1] != 2 || s[2] != 3.5 {
+		t.Errorf("Speedups = %v", s)
+	}
+	z := Speedups([]float64{0, 5})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero-baseline Speedups = %v", z)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		lo, hi := clean[0], clean[0]
+		for _, x := range clean {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIMachines(t *testing.T) {
+	// Sanity-check the encoded Table I entries.
+	if NehalemEP.TotalThreads() != 16 {
+		t.Errorf("EP TotalThreads = %d, want 16", NehalemEP.TotalThreads())
+	}
+	if NehalemEP.TotalCores() != 8 {
+		t.Errorf("EP TotalCores = %d, want 8", NehalemEP.TotalCores())
+	}
+	if NehalemEX.TotalThreads() != 64 {
+		t.Errorf("EX TotalThreads = %d, want 64", NehalemEX.TotalThreads())
+	}
+	if NehalemEX.TotalCores() != 32 {
+		t.Errorf("EX TotalCores = %d, want 32", NehalemEX.TotalCores())
+	}
+	for _, m := range []Machine{NehalemEP, NehalemEX, Generic(1, 1, 1)} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	bad := []Machine{
+		{Name: "no-sockets", Sockets: 0, CoresPerSocket: 4, ThreadsPerCore: 2},
+		{Name: "no-cores", Sockets: 2, CoresPerSocket: 0, ThreadsPerCore: 2},
+		{Name: "no-threads", Sockets: 2, CoresPerSocket: 4, ThreadsPerCore: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", m.Name)
+		}
+	}
+}
+
+func TestSocketOfThreadEPMatchesTableI(t *testing.T) {
+	// Table I: Proc 0 gets threads 0-3 and 8-11; Proc 1 gets 4-7 and
+	// 12-15.
+	want := map[int]int{
+		0: 0, 1: 0, 2: 0, 3: 0,
+		4: 1, 5: 1, 6: 1, 7: 1,
+		8: 0, 9: 0, 10: 0, 11: 0,
+		12: 1, 13: 1, 14: 1, 15: 1,
+	}
+	for th, s := range want {
+		if got := NehalemEP.SocketOfThread(th, 16); got != s {
+			t.Errorf("EP SocketOfThread(%d) = %d, want %d", th, got, s)
+		}
+	}
+}
+
+func TestSocketOfThreadEXMatchesTableI(t *testing.T) {
+	// Table I: Proc 0: 0-7 & 32-39; Proc 1: 8-15 & 40-47; etc.
+	cases := []struct{ thread, socket int }{
+		{0, 0}, {7, 0}, {32, 0}, {39, 0},
+		{8, 1}, {15, 1}, {40, 1}, {47, 1},
+		{16, 2}, {23, 2}, {48, 2}, {55, 2},
+		{24, 3}, {31, 3}, {56, 3}, {63, 3},
+	}
+	for _, c := range cases {
+		if got := NehalemEX.SocketOfThread(c.thread, 64); got != c.socket {
+			t.Errorf("EX SocketOfThread(%d) = %d, want %d", c.thread, got, c.socket)
+		}
+	}
+}
+
+func TestSocketOfThreadPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range thread")
+		}
+	}()
+	NehalemEP.SocketOfThread(16, 16)
+}
+
+func TestSocketsForThreads(t *testing.T) {
+	cases := []struct {
+		m       Machine
+		threads int
+		want    int
+	}{
+		{NehalemEP, 1, 1},
+		{NehalemEP, 4, 1},
+		{NehalemEP, 5, 2},
+		{NehalemEP, 8, 2},
+		{NehalemEP, 16, 2}, // SMT threads reuse the same sockets
+		{NehalemEX, 8, 1},
+		{NehalemEX, 9, 2},
+		{NehalemEX, 16, 2},
+		{NehalemEX, 32, 4},
+		{NehalemEX, 64, 4},
+		{NehalemEX, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.m.SocketsForThreads(c.threads); got != c.want {
+			t.Errorf("%s SocketsForThreads(%d) = %d, want %d", c.m.Name, c.threads, got, c.want)
+		}
+	}
+}
+
+func TestPartitionBasic(t *testing.T) {
+	p, err := NewPartition(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sockets() != 4 {
+		t.Errorf("Sockets = %d, want 4", p.Sockets())
+	}
+	if p.DetermineSocket(0) != 0 {
+		t.Error("vertex 0 not on socket 0")
+	}
+	if p.DetermineSocket(99) != 3 {
+		t.Error("vertex 99 not on socket 3")
+	}
+	// Ranges cover [0, n) exactly once.
+	covered := 0
+	for s := 0; s < 4; s++ {
+		lo, hi := p.Range(s)
+		covered += hi - lo
+		for v := lo; v < hi; v++ {
+			if p.DetermineSocket(uint32(v)) != s {
+				t.Fatalf("vertex %d: Range says socket %d, DetermineSocket says %d", v, s, p.DetermineSocket(uint32(v)))
+			}
+		}
+	}
+	if covered != 100 {
+		t.Errorf("ranges cover %d vertices, want 100", covered)
+	}
+}
+
+func TestPartitionUneven(t *testing.T) {
+	// 10 vertices over 3 sockets: blocks of 4; socket 2 gets 2 vertices.
+	p, err := NewPartition(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Range(2)
+	if lo != 8 || hi != 10 {
+		t.Errorf("Range(2) = [%d,%d), want [8,10)", lo, hi)
+	}
+}
+
+func TestPartitionMoreSocketsThanVertices(t *testing.T) {
+	p, err := NewPartition(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex must land on a valid socket; tail sockets own empty
+	// ranges.
+	for v := uint32(0); v < 2; v++ {
+		s := p.DetermineSocket(v)
+		if s < 0 || s >= 4 {
+			t.Errorf("vertex %d on socket %d", v, s)
+		}
+	}
+	lo, hi := p.Range(3)
+	if lo != hi {
+		t.Errorf("socket 3 should own empty range, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestPartitionSingleSocket(t *testing.T) {
+	p, err := NewPartition(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 50; v++ {
+		if p.DetermineSocket(v) != 0 {
+			t.Fatalf("vertex %d not on socket 0", v)
+		}
+	}
+}
+
+func TestPartitionRejectsBadArgs(t *testing.T) {
+	if _, err := NewPartition(-1, 2); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewPartition(10, 0); err == nil {
+		t.Error("zero sockets accepted")
+	}
+}
+
+func TestPartitionZeroVertices(t *testing.T) {
+	p, err := NewPartition(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := p.Range(0)
+	if lo != 0 || hi != 0 {
+		t.Errorf("Range(0) on empty partition = [%d,%d)", lo, hi)
+	}
+}
+
+func TestQuickPartitionConsistency(t *testing.T) {
+	// Property: for any (n, sockets), DetermineSocket agrees with Range
+	// and ranges tile [0, n).
+	f := func(nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw % 5000)
+		sockets := int(sRaw%8) + 1
+		p, err := NewPartition(n, sockets)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for s := 0; s < sockets; s++ {
+			lo, hi := p.Range(s)
+			if lo > hi {
+				return false
+			}
+			total += hi - lo
+			for v := lo; v < hi; v++ {
+				if p.DetermineSocket(uint32(v)) != s {
+					return false
+				}
+			}
+		}
+		return total == n
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSocketOfThreadInRange(t *testing.T) {
+	f := func(thRaw uint8, nRaw uint8) bool {
+		m := NehalemEX
+		n := int(nRaw%64) + 1
+		th := int(thRaw) % n
+		s := m.SocketOfThread(th, n)
+		return s >= 0 && s < m.Sockets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

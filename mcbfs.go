@@ -1,0 +1,261 @@
+// Package mcbfs is a scalable breadth-first search library for
+// multicore shared-memory machines, reproducing Agarwal, Petrini,
+// Pasetto and Bader, "Scalable Graph Exploration on Multicore
+// Processors" (SC 2010).
+//
+// The library explores directed graphs in compressed-sparse-row form
+// with a level-synchronous parallel BFS in three tiers of refinement:
+// a simple shared-queue algorithm, a single-socket algorithm with a
+// visited bitmap and double-checked atomic claims, and a multi-socket
+// algorithm that partitions the graph per socket and ships remote
+// discoveries through batched lock-free channels. The appropriate tier
+// is selected automatically from the thread count and machine shape.
+//
+// # Quick start
+//
+//	g, err := mcbfs.UniformGraph(1<<20, 16, 42) // 1M vertices, degree 16
+//	if err != nil { ... }
+//	res, err := mcbfs.BFS(g, 0, mcbfs.Options{})
+//	if err != nil { ... }
+//	fmt.Printf("reached %d vertices at %s\n",
+//		res.Reached, mcbfs.FormatRate(res.EdgesPerSecond()))
+//
+// # Machine topology
+//
+// On a multi-socket host, describe the topology so the multi-socket
+// tier can partition the graph and wire its channels:
+//
+//	opts := mcbfs.Options{
+//		Threads: 16,
+//		Machine: mcbfs.NehalemEP, // or mcbfs.Machine{...} for yours
+//	}
+//
+// The topology is logical: the library does not pin threads (Go offers
+// no portable pinning), but partitioning by socket is what removes the
+// cross-socket atomic traffic, and that effect follows the data layout
+// rather than the pinning.
+package mcbfs
+
+import (
+	"io"
+
+	"mcbfs/internal/algo"
+	"mcbfs/internal/core"
+	"mcbfs/internal/dist"
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/graph500"
+	"mcbfs/internal/ssca2"
+	"mcbfs/internal/stats"
+	"mcbfs/internal/topology"
+)
+
+// Graph is an immutable directed graph in CSR form.
+type Graph = graph.Graph
+
+// Vertex identifies a graph vertex.
+type Vertex = graph.Vertex
+
+// Edge is a directed edge.
+type Edge = graph.Edge
+
+// Options configures a BFS run; the zero value uses GOMAXPROCS workers
+// and automatic algorithm selection.
+type Options = core.Options
+
+// Result is the outcome of a BFS run.
+type Result = core.Result
+
+// LevelStats is per-level instrumentation (enable with
+// Options.Instrument).
+type LevelStats = core.LevelStats
+
+// Algorithm selects a BFS implementation tier.
+type Algorithm = core.Algorithm
+
+// Machine describes a shared-memory system's shape.
+type Machine = topology.Machine
+
+// RMATParams are the R-MAT generator's quadrant probabilities.
+type RMATParams = gen.RMATParams
+
+// Algorithm tiers; see the package documentation of internal/core.
+const (
+	AlgAuto                = core.AlgAuto
+	AlgSequential          = core.AlgSequential
+	AlgParallelSimple      = core.AlgParallelSimple
+	AlgSingleSocket        = core.AlgSingleSocket
+	AlgMultiSocket         = core.AlgMultiSocket
+	AlgDirectionOptimizing = core.AlgDirectionOptimizing
+)
+
+// NoParent marks an unvisited vertex in Result.Parents.
+const NoParent = core.NoParent
+
+// Predefined machine topologies (the paper's Table I).
+var (
+	NehalemEP = topology.NehalemEP
+	NehalemEX = topology.NehalemEX
+)
+
+// GenericMachine returns a topology with the given shape for hosts not
+// covered by the predefined ones.
+func GenericMachine(sockets, coresPerSocket, threadsPerCore int) Machine {
+	return topology.Generic(sockets, coresPerSocket, threadsPerCore)
+}
+
+// GTgraphDefaults are the R-MAT parameters of the GTgraph suite used by
+// the paper; Graph500Params the later Graph500 parameterization.
+var (
+	GTgraphDefaults = gen.GTgraphDefaults
+	Graph500Params  = gen.Graph500Params
+)
+
+// BFS explores g from root and returns the breadth-first tree.
+func BFS(g *Graph, root Vertex, opt Options) (*Result, error) {
+	return core.BFS(g, root, opt)
+}
+
+// ValidateTree checks that parents encodes a correct BFS tree of g
+// rooted at root (reachability, parent edges, and breadth-first
+// depths).
+func ValidateTree(g *Graph, root Vertex, parents []uint32) error {
+	return core.ValidateTree(g, root, parents)
+}
+
+// TreeDepths returns each vertex's depth in the parent tree, or
+// NoDepth for unreached vertices.
+func TreeDepths(parents []uint32, root Vertex) []int32 {
+	return core.TreeDepths(parents, root)
+}
+
+// NoDepth marks unreached vertices in TreeDepths output.
+const NoDepth = core.NoDepth
+
+// NewGraph builds a graph with n vertices from an edge list.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// NewGraphFromAdjacency builds a graph from explicit adjacency lists.
+func NewGraphFromAdjacency(adj [][]Vertex) (*Graph, error) {
+	return graph.FromAdjacency(adj)
+}
+
+// LoadGraph reads a graph from a file written by (*Graph).Save.
+func LoadGraph(path string) (*Graph, error) {
+	return graph.Load(path)
+}
+
+// UniformGraph generates a uniformly random directed graph with n
+// vertices of out-degree degree (the paper's "uniformly random"
+// workload).
+func UniformGraph(n, degree int, seed uint64) (*Graph, error) {
+	return gen.Uniform(n, degree, seed)
+}
+
+// RMATGraph generates a scale-free R-MAT graph with 2^scale vertices
+// and m edges (the paper's GTgraph workload).
+func RMATGraph(scale int, m int64, p RMATParams, seed uint64) (*Graph, error) {
+	return gen.RMAT(scale, m, p, seed)
+}
+
+// SSCA2Graph generates an SSCA#2-style clustered graph.
+func SSCA2Graph(n, maxCliqueSize int, interCliqueFraction float64, seed uint64) (*Graph, error) {
+	return gen.SSCA2(n, maxCliqueSize, interCliqueFraction, seed)
+}
+
+// GridGraph generates a rows x cols grid with 4- or 8-connectivity.
+func GridGraph(rows, cols, conn int) (*Graph, error) {
+	return gen.Grid(rows, cols, conn)
+}
+
+// FormatRate renders an edges-per-second rate in the paper's units.
+func FormatRate(eps float64) string { return stats.FormatRate(eps) }
+
+// ReadDIMACS reads a graph in DIMACS .gr format (the format the
+// GTgraph suite emits).
+func ReadDIMACS(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
+
+// ReadEdgeList reads a plain 0-based "src dst" edge list, optionally
+// preceded by a "# vertices <n>" header.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Components is the result of a connected-components run.
+type Components = algo.Components
+
+// ConnectedComponents labels the weakly connected components of g by
+// repeated BFS — the community-analysis primitive the paper's
+// introduction motivates. Pass symmetric=true when g already contains
+// both directions of every edge.
+func ConnectedComponents(g *Graph, symmetric bool, opt Options) (*Components, error) {
+	return algo.ConnectedComponents(g, symmetric, opt)
+}
+
+// ShortestPath returns a minimum-hop path from s to t (both endpoints
+// included), or ok=false if t is unreachable.
+func ShortestPath(g *Graph, s, t Vertex, opt Options) (path []Vertex, ok bool, err error) {
+	return algo.ShortestPath(g, s, t, opt)
+}
+
+// Distance returns the hop distance from s to t, or -1 if unreachable.
+func Distance(g *Graph, s, t Vertex, opt Options) (int, error) {
+	return algo.Distance(g, s, t, opt)
+}
+
+// STConnectivity reports whether t is reachable from s, using a
+// bidirectional search in the style of the Bader-Madduri MTA-2 kernel.
+func STConnectivity(g *Graph, s, t Vertex) (bool, error) {
+	return algo.STConnectivity(g, s, t)
+}
+
+// MultiSourceBFS returns each vertex's distance to the nearest of the
+// given roots and which root claimed it.
+func MultiSourceBFS(g *Graph, roots []Vertex) (depths []int32, nearest []int32, err error) {
+	return algo.MultiSourceBFS(g, roots)
+}
+
+// ApproxDiameter lower-bounds the diameter of g by the double-sweep
+// heuristic (exact on trees).
+func ApproxDiameter(g *Graph, start Vertex, opt Options) (int, error) {
+	return algo.ApproxDiameter(g, start, opt)
+}
+
+// Betweenness computes betweenness centrality by Brandes' algorithm
+// (one BFS plus one dependency sweep per source, parallel over
+// sources). Pass every vertex as a source for exact centrality, or a
+// sample for the SSCA#2-style estimate. workers <= 0 means GOMAXPROCS.
+func Betweenness(g *Graph, sources []Vertex, workers int) ([]float64, error) {
+	return ssca2.Kernel4(g, sources, workers)
+}
+
+// DistOptions configures DistributedBFS.
+type DistOptions = dist.Options
+
+// DistResult is the outcome of DistributedBFS, including the
+// communication profile (supersteps, messages, tuples).
+type DistResult = dist.Result
+
+// DistributedBFS runs the level-synchronous BFS over simulated
+// distributed-memory nodes with strictly private per-node state and
+// batched message exchange — the paper's stated future-work design
+// (Section V: distributed-memory machines with PGAS-style
+// communication).
+func DistributedBFS(g *Graph, root Vertex, opt DistOptions) (*DistResult, error) {
+	return dist.BFS(g, root, opt)
+}
+
+// Graph500Spec configures RunGraph500.
+type Graph500Spec = graph500.Spec
+
+// Graph500Result reports a Graph500-protocol run.
+type Graph500Result = graph500.Result
+
+// DefaultGraph500Spec returns the standard protocol (edge factor 16,
+// 64 roots) at the given scale.
+func DefaultGraph500Spec(scale int) Graph500Spec { return graph500.DefaultSpec(scale) }
+
+// RunGraph500 executes the Graph500-style BFS benchmark protocol:
+// Kronecker generation, BFS from sampled roots, per-root validation,
+// harmonic-mean TEPS reporting.
+func RunGraph500(spec Graph500Spec) (*Graph500Result, error) { return graph500.Run(spec) }
