@@ -553,3 +553,27 @@ func BenchmarkAblationChunkSize(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkInstrumentOverhead measures the cost of the observability
+// layer on a 1M-vertex R-MAT graph: off (the guaranteed-zero-overhead
+// path), per-level counters (-instrument), and the full per-worker
+// timeline trace. "off" must stay within noise of the seed rate.
+func BenchmarkInstrumentOverhead(b *testing.B) {
+	g := benchRMAT(b, 20, 1<<23)
+	base := core.Options{Algorithm: core.AlgSingleSocket, Threads: 4}
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"off", func(o *core.Options) {}},
+		{"instrument", func(o *core.Options) { o.Instrument = true }},
+		{"trace", func(o *core.Options) { o.Instrument = true; o.Trace = true }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opt := base
+			v.mod(&opt)
+			runBFS(b, g, opt)
+		})
+	}
+}

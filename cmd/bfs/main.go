@@ -5,15 +5,19 @@
 // Usage:
 //
 //	bfs -graph g.mcbf -root 0 -threads 8 -algorithm auto -validate
+//	bfs -graph g.mcbf -threads 4 -trace out.json
 //
 // The -sockets and -cores flags describe the host's topology so the
 // multi-socket algorithm can partition the graph the way the paper's
-// Algorithm 3 does.
+// Algorithm 3 does. -trace records per-worker phase timelines for the
+// best run and writes them as Chrome trace-event JSON (viewable in
+// Perfetto or chrome://tracing).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,6 +26,24 @@ import (
 	"mcbfs/internal/stats"
 	"mcbfs/internal/topology"
 )
+
+// errWriter remembers the first write error so output to a full disk
+// or closed pipe fails loudly instead of silently truncating.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
 
 func main() {
 	var (
@@ -36,6 +58,7 @@ func main() {
 		repeat     = flag.Int("repeat", 1, "number of runs (best rate reported)")
 		instrument = flag.Bool("instrument", false, "print per-level statistics (paper Fig. 4 style)")
 		pin        = flag.Bool("pin", false, "pin worker threads to CPUs (Linux)")
+		traceOut   = flag.String("trace", "", "write the best run's Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +111,7 @@ func main() {
 		BatchSize:  *batch,
 		Instrument: *instrument,
 		PinThreads: *pin,
+		Trace:      *traceOut != "",
 	}
 
 	var best *core.Result
@@ -102,21 +126,39 @@ func main() {
 		}
 	}
 
-	fmt.Printf("graph:     %s vertices, %s edges\n",
+	out := &errWriter{w: os.Stdout}
+	fmt.Fprintf(out, "graph:     %s vertices, %s edges\n",
 		stats.FormatCount(int64(g.NumVertices())), stats.FormatCount(g.NumEdges()))
-	fmt.Printf("algorithm: %v, %d threads, %d logical socket(s)\n",
+	fmt.Fprintf(out, "algorithm: %v, %d threads, %d logical socket(s)\n",
 		best.Algorithm, best.Threads, opts.Machine.SocketsForThreads(best.Threads))
-	fmt.Printf("reached:   %d vertices in %d levels\n", best.Reached, best.Levels)
-	fmt.Printf("traversed: %s edges (m_a) in %v\n", stats.FormatCount(best.EdgesTraversed), best.Duration)
-	fmt.Printf("rate:      %s\n", stats.FormatRate(best.EdgesPerSecond()))
+	fmt.Fprintf(out, "reached:   %d vertices in %d levels\n", best.Reached, best.Levels)
+	fmt.Fprintf(out, "traversed: %s edges (m_a) in %v\n", stats.FormatCount(best.EdgesTraversed), best.Duration)
+	fmt.Fprintf(out, "rate:      %s\n", stats.FormatRate(best.EdgesPerSecond()))
 
 	if *instrument {
-		fmt.Println("level  frontier   edges       bitmap-reads  atomic-ops  remote-sends  duration")
+		fmt.Fprintln(out, "level  frontier   edges       bitmap-reads  atomic-ops  remote-sends  duration")
 		for i, ls := range best.PerLevel {
-			fmt.Printf("%-6d %-10d %-11d %-13d %-11d %-13d %v\n",
+			fmt.Fprintf(out, "%-6d %-10d %-11d %-13d %-11d %-13d %v\n",
 				i, ls.Frontier, ls.Edges, ls.BitmapReads, ls.AtomicOps, ls.RemoteSends,
 				ls.Duration.Round(10*time.Microsecond))
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfs: %v\n", err)
+			os.Exit(1)
+		}
+		werr := best.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "bfs: writing %s: %v\n", *traceOut, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "trace:     %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 
 	if *validate {
@@ -124,6 +166,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bfs: VALIDATION FAILED: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("validated: BFS tree is correct")
+		fmt.Fprintln(out, "validated: BFS tree is correct")
+	}
+
+	if out.err != nil {
+		fmt.Fprintf(os.Stderr, "bfs: writing output: %v\n", out.err)
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"mcbfs/internal/gen"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/machine"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/refdata"
 	"mcbfs/internal/simbfs"
 	"mcbfs/internal/stats"
@@ -17,10 +18,11 @@ import (
 )
 
 type harnessConfig struct {
-	Mode  string // sim | measured | both
-	Scale int    // log2 vertices for measured runs
-	Seed  uint64
-	Short bool
+	Mode   string // sim | measured | both
+	Scale  int    // log2 vertices for measured runs
+	Seed   uint64
+	Short  bool
+	Tracer obs.Tracer // observes every measured library run (nil = off)
 }
 
 func (c harnessConfig) sim() bool      { return c.Mode == "sim" || c.Mode == "both" }
@@ -104,10 +106,11 @@ func measuredRMAT(scale int, m int64, seed uint64) (*graph.Graph, error) {
 
 // bestBFS runs the library with the paper's per-thread-count algorithm
 // choice on a logical EP topology and returns the rate.
-func bestBFS(g *graph.Graph, threads int, seed uint64) (float64, error) {
-	res, err := core.BFS(g, graph.Vertex(seed%uint64(g.NumVertices())), core.Options{
+func bestBFS(g *graph.Graph, threads int, cfg harnessConfig) (float64, error) {
+	res, err := core.BFS(g, graph.Vertex(cfg.Seed%uint64(g.NumVertices())), core.Options{
 		Threads: threads,
 		Machine: topology.NehalemEP,
+		Tracer:  cfg.Tracer,
 	})
 	if err != nil {
 		return 0, err
@@ -206,6 +209,7 @@ func runFig4(w io.Writer, cfg harnessConfig) error {
 		Algorithm:  core.AlgSingleSocket,
 		Threads:    4,
 		Instrument: true,
+		Tracer:     cfg.Tracer,
 	})
 	if err != nil {
 		return err
@@ -265,7 +269,9 @@ func runFig5(w io.Writer, cfg harnessConfig) error {
 		for _, t := range measuredThreads(cfg) {
 			fmt.Fprintf(w, "%-8d", t)
 			for _, a := range algs {
-				res, err := core.BFS(g, 0, core.Options{Algorithm: a, Threads: t, Machine: topology.NehalemEP})
+				res, err := core.BFS(g, 0, core.Options{
+					Algorithm: a, Threads: t, Machine: topology.NehalemEP, Tracer: cfg.Tracer,
+				})
 				if err != nil {
 					return err
 				}
@@ -316,7 +322,7 @@ func figRates(kind simbfs.GraphKind, m machine.Model) func(io.Writer, harnessCon
 					if err != nil {
 						return err
 					}
-					rate, err := bestBFS(g, t, cfg.Seed)
+					rate, err := bestBFS(g, t, cfg)
 					if err != nil {
 						return err
 					}
@@ -356,7 +362,7 @@ func figSpeedup(kind simbfs.GraphKind, m machine.Model) func(io.Writer, harnessC
 			fmt.Fprintln(w, "threads  ME/s    speedup")
 			var base float64
 			for _, t := range measuredThreads(cfg) {
-				rate, err := bestBFS(g, t, cfg.Seed)
+				rate, err := bestBFS(g, t, cfg)
 				if err != nil {
 					return err
 				}
@@ -402,7 +408,7 @@ func figSize(kind simbfs.GraphKind, m machine.Model) func(io.Writer, harnessConf
 				if err != nil {
 					return err
 				}
-				rate, err := bestBFS(g, 4, cfg.Seed)
+				rate, err := bestBFS(g, 4, cfg)
 				if err != nil {
 					return err
 				}
@@ -451,7 +457,9 @@ func runFig10(w io.Writer, cfg harnessConfig) error {
 			ch := make(chan out, instances)
 			for i := range graphs {
 				go func(i int) {
-					res, err := core.BFS(graphs[i], 0, core.Options{Algorithm: core.AlgSingleSocket, Threads: 2})
+					res, err := core.BFS(graphs[i], 0, core.Options{
+						Algorithm: core.AlgSingleSocket, Threads: 2, Tracer: cfg.Tracer,
+					})
 					if err != nil {
 						ch <- out{0, err}
 						return
@@ -548,8 +556,9 @@ func runExtHybrid(w io.Writer, cfg harnessConfig) error {
 			name string
 			opt  core.Options
 		}{
-			{"top-down", core.Options{Algorithm: core.AlgSingleSocket, Threads: 4}},
-			{"hybrid", core.Options{Algorithm: core.AlgDirectionOptimizing, Threads: 4, Transpose: gt}},
+			{"top-down", core.Options{Algorithm: core.AlgSingleSocket, Threads: 4, Tracer: cfg.Tracer}},
+			{"hybrid", core.Options{Algorithm: core.AlgDirectionOptimizing, Threads: 4, Transpose: gt,
+				Tracer: cfg.Tracer}},
 		} {
 			res, err := core.BFS(g, 0, mode.opt)
 			if err != nil {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/topology"
 )
 
@@ -133,6 +134,18 @@ type Options struct {
 	// carefully placed _mm_prefetch intrinsics that keep multiple
 	// memory requests in flight (Fig. 2). 0 disables batching.
 	ProbeBatch int
+	// Tracer receives observability callbacks (level start/end, remote
+	// batch flushes, barrier waits). Implementations must be safe for
+	// concurrent use: OnRemoteBatch and OnBarrierWait fire from worker
+	// goroutines. nil disables the hooks at zero cost.
+	Tracer obs.Tracer
+	// Trace retains the full structured trace — per-worker phase
+	// timelines, per-level breakdowns, inter-socket channel samples —
+	// in Result.Trace, exportable with Trace.WriteChromeTrace. Costs a
+	// few time.Now calls per worker per level plus the span memory;
+	// when false (and Tracer is nil) the hot path executes no extra
+	// atomic operations and only per-level nil-checks.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -208,6 +221,8 @@ type Result struct {
 	Threads int
 	// PerLevel holds instrumentation when Options.Instrument was set.
 	PerLevel []LevelStats
+	// Trace holds the structured trace when Options.Trace was set.
+	Trace *obs.Trace
 }
 
 // EdgesPerSecond returns the paper's headline metric: m_a divided by

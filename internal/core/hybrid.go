@@ -8,6 +8,7 @@ import (
 	"mcbfs/internal/affinity"
 	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/queue"
 )
 
@@ -59,7 +60,8 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 	reachedCounts := make([]int64, workers)
 	levels := 0
 	var perLevel []LevelStats
-	collector := newStatsCollector(o.Instrument, workers)
+	coll := newObsCollector(o, workers, 1, AlgDirectionOptimizing)
+	collector := newStatsCollector(o.Instrument, workers, coll)
 	levelStart := time.Now()
 
 	start := time.Now()
@@ -92,6 +94,8 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 					defer unpin()
 				}
 			}
+			wr := coll.Worker(w)
+			var myEdges, myReached int64
 			local := make([]uint32, 0, o.LocalBatch)
 			flush := func() {
 				nq.PushBatch(local)
@@ -102,6 +106,7 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 				if bottomUp.Load() {
 					// Build the frontier bitmap: each worker sets the bits
 					// of its own vertex range from the shared CQ contents.
+					tp := wr.PhaseStart()
 					frontierVerts := cq.Slice()
 					myLo, myHi := lo(w), hi(w)
 					for _, v := range frontierVerts {
@@ -109,22 +114,25 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 							frontier.Set(int(v))
 						}
 					}
+					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
+					tp = wr.PhaseStart()
 					bar.wait()
+					wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
 					// Bottom-up sweep over this worker's unvisited range.
+					tp = wr.PhaseStart()
 					for v := myLo; v < myHi; v++ {
 						if visited.Get(v) {
 							continue
 						}
 						stats.BitmapReads++
 						for _, u := range gt.Neighbors(graph.Vertex(v)) {
-							edgeCounts[w]++
 							stats.Edges++
 							if frontier.Get(int(u)) {
 								// Sole owner of v: plain writes suffice.
 								visited.Set(v)
 								parents[v] = uint32(u)
-								reachedCounts[w]++
+								myReached++
 								local = append(local, uint32(v))
 								if len(local) == cap(local) {
 									flush()
@@ -134,21 +142,27 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 						}
 					}
 					flush()
+					wr.PhaseEnd(obs.PhaseBottomUpScan, tp)
 
 					// Everyone must finish sweeping before anyone clears:
 					// a cleared bit would hide a frontier parent from a
 					// worker still scanning, deferring the discovery one
 					// level and corrupting BFS depths.
+					tp = wr.PhaseStart()
 					bar.wait()
+					wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
 					// Clear this range's frontier bits for the next level.
+					tp = wr.PhaseStart()
 					for _, v := range frontierVerts {
 						if int(v) >= myLo && int(v) < myHi {
 							frontier.Clear(int(v))
 						}
 					}
+					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
 				} else {
 					// Top-down: identical to the single-socket algorithm.
+					tp := wr.PhaseStart()
 					for {
 						chunk := cq.PopChunk(o.ChunkSize)
 						if chunk == nil {
@@ -156,7 +170,6 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 						}
 						for _, u := range chunk {
 							nbrs := g.Neighbors(graph.Vertex(u))
-							edgeCounts[w] += int64(len(nbrs))
 							stats.Frontier++
 							stats.Edges += int64(len(nbrs))
 							for _, v := range nbrs {
@@ -169,7 +182,7 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 								stats.AtomicOps++
 								if !visited.TestAndSet(int(v)) {
 									parents[v] = u
-									reachedCounts[w]++
+									myReached++
 									local = append(local, v)
 									if len(local) == cap(local) {
 										flush()
@@ -179,16 +192,19 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 						}
 					}
 					flush()
+					wr.PhaseEnd(obs.PhaseLocalScan, tp)
 				}
 				if bottomUp.Load() {
 					// In bottom-up mode the frontier counter reflects the
 					// vertices expanded, which is the previous level's CQ.
 					stats.Frontier = 0 // folded by the coordinator below
 				}
+				myEdges += stats.Edges
 				collector.add(w, stats)
 
+				tp := wr.PhaseStart()
 				if bar.wait() {
-					if bottomUp.Load() && o.Instrument {
+					if bottomUp.Load() && collector.active() {
 						// Attribute the frontier size to the level.
 						collector.slots[0].Frontier += int64(cq.Size())
 					}
@@ -210,8 +226,14 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 						}
 					}
 				}
-				bar.wait()
+				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+				if bar.wait() {
+					collector.foldPhases(!done.Load())
+				}
+				wr.NextLevel()
 				if done.Load() {
+					edgeCounts[w] = myEdges
+					reachedCounts[w] = myReached
 					return
 				}
 			}
@@ -234,5 +256,6 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 		Algorithm:      AlgDirectionOptimizing,
 		Threads:        workers,
 		PerLevel:       perLevel,
+		Trace:          coll.Finish(),
 	}, nil
 }

@@ -1,31 +1,63 @@
 package core
 
-import "time"
+import (
+	"time"
+	"unsafe"
+
+	"mcbfs/internal/obs"
+)
+
+// statSlot is one worker's counter deposit, padded so adjacent workers
+// never share a cache line.
+type statSlot struct {
+	LevelStats
+	_ [(64 - unsafe.Sizeof(LevelStats{})%64) % 64]byte
+}
 
 // statsCollector gathers per-worker LevelStats without atomic traffic in
 // the hot loop: each worker deposits its level-local counts in its own
-// slot before the level barrier, and the barrier coordinator folds the
-// slots into the result between barriers (a window in which no worker
-// writes).
+// cache-line-padded slot before the level barrier, and the barrier
+// coordinator folds the slots into the result between barriers (a
+// window in which no worker writes).
+//
+// It also bridges to the obs layer: fold stashes the level's totals,
+// and foldPhases — called by the coordinator of the level's closing
+// barrier — hands them to the obs.Collector together with the folded
+// phase timers.
 type statsCollector struct {
+	// enabled selects folding into Result.PerLevel (Options.Instrument).
 	enabled bool
-	slots   []LevelStats
+	slots   []statSlot
+	// rec is the observability collector; nil when neither a Tracer nor
+	// a full trace was requested.
+	rec *obs.Collector
+
+	// pending* carry the totals of the level folded at the first
+	// barrier to foldPhases at the second. Written and read only by
+	// barrier coordinators, sequenced by the barrier itself.
+	pendingTotal LevelStats
+	pendingStart time.Duration
 }
 
-func newStatsCollector(enabled bool, workers int) *statsCollector {
-	c := &statsCollector{enabled: enabled}
-	if enabled {
-		c.slots = make([]LevelStats, workers)
+// newStatsCollector builds a collector; slots are allocated when either
+// Result.PerLevel (enabled) or the obs layer (rec) needs folded counts.
+func newStatsCollector(enabled bool, workers int, rec *obs.Collector) *statsCollector {
+	c := &statsCollector{enabled: enabled, rec: rec}
+	if enabled || rec != nil {
+		c.slots = make([]statSlot, workers)
 	}
 	return c
 }
 
+// active reports whether workers should deposit counts at all.
+func (c *statsCollector) active() bool { return c.slots != nil }
+
 // add deposits worker w's counts for the level in progress.
 func (c *statsCollector) add(w int, s LevelStats) {
-	if !c.enabled {
+	if c.slots == nil {
 		return
 	}
-	slot := &c.slots[w]
+	slot := &c.slots[w].LevelStats
 	slot.Frontier += s.Frontier
 	slot.Edges += s.Edges
 	slot.BitmapReads += s.BitmapReads
@@ -34,15 +66,16 @@ func (c *statsCollector) add(w int, s LevelStats) {
 }
 
 // fold sums all worker slots into one LevelStats, stamps the level
-// duration, appends it to dst, and clears the slots for the next level.
-// Must be called while workers are parked between barriers.
+// duration, appends it to dst (when Instrument is on), and clears the
+// slots for the next level. Must be called while workers are parked
+// between barriers.
 func (c *statsCollector) fold(dst *[]LevelStats, levelDur time.Duration) {
-	if !c.enabled {
+	if c.slots == nil {
 		return
 	}
 	total := LevelStats{Duration: levelDur}
 	for i := range c.slots {
-		s := &c.slots[i]
+		s := &c.slots[i].LevelStats
 		total.Frontier += s.Frontier
 		total.Edges += s.Edges
 		total.BitmapReads += s.BitmapReads
@@ -50,5 +83,45 @@ func (c *statsCollector) fold(dst *[]LevelStats, levelDur time.Duration) {
 		total.RemoteSends += s.RemoteSends
 		*s = LevelStats{}
 	}
-	*dst = append(*dst, total)
+	if c.enabled {
+		*dst = append(*dst, total)
+	}
+	if c.rec != nil {
+		c.pendingTotal = total
+		c.pendingStart = time.Since(c.rec.Origin()) - levelDur
+	}
+}
+
+// foldPhases folds the level's phase timers into the obs layer using
+// the totals stashed by fold. Call it from the coordinator elected at
+// the level's closing barrier; more is false once termination has been
+// decided.
+func (c *statsCollector) foldPhases(more bool) {
+	if c.rec == nil {
+		return
+	}
+	t := c.pendingTotal
+	c.rec.EndLevel(c.pendingStart, t.Duration, obs.Counters{
+		Frontier:    t.Frontier,
+		Edges:       t.Edges,
+		BitmapReads: t.BitmapReads,
+		AtomicOps:   t.AtomicOps,
+		RemoteSends: t.RemoteSends,
+	}, more)
+}
+
+// newObsCollector builds the observability collector for a run, or nil
+// when observability is off — the nil pointer is what keeps the hot
+// path at a handful of predictable nil-checks per level.
+func newObsCollector(o Options, workers, sockets int, alg Algorithm) *obs.Collector {
+	if !o.Trace && o.Tracer == nil {
+		return nil
+	}
+	return obs.NewCollector(obs.Config{
+		Workers:   workers,
+		Sockets:   sockets,
+		Algorithm: alg.String(),
+		Trace:     o.Trace,
+		Tracer:    o.Tracer,
+	})
 }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+	"unsafe"
+
+	"mcbfs/internal/obs"
+)
+
+func TestStatSlotPadding(t *testing.T) {
+	if s := unsafe.Sizeof(statSlot{}); s%64 != 0 {
+		t.Errorf("statSlot size %d is not a multiple of the cache line", s)
+	}
+}
+
+func TestStatsCollectorFoldMultiWorker(t *testing.T) {
+	c := newStatsCollector(true, 3, nil)
+	c.add(0, LevelStats{Frontier: 1, Edges: 10, BitmapReads: 8, AtomicOps: 2, RemoteSends: 1})
+	c.add(1, LevelStats{Frontier: 2, Edges: 20, BitmapReads: 16, AtomicOps: 4, RemoteSends: 2})
+	c.add(2, LevelStats{Frontier: 4, Edges: 40, BitmapReads: 32, AtomicOps: 8, RemoteSends: 4})
+	// A worker may deposit more than once per level (e.g. per chunk).
+	c.add(1, LevelStats{Edges: 5})
+
+	var dst []LevelStats
+	c.fold(&dst, 7*time.Millisecond)
+	if len(dst) != 1 {
+		t.Fatalf("fold appended %d entries, want 1", len(dst))
+	}
+	got := dst[0]
+	want := LevelStats{Frontier: 7, Edges: 75, BitmapReads: 56, AtomicOps: 14, RemoteSends: 7,
+		Duration: 7 * time.Millisecond}
+	if got != want {
+		t.Errorf("fold = %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsCollectorSlotsClearedBetweenLevels(t *testing.T) {
+	c := newStatsCollector(true, 2, nil)
+	c.add(0, LevelStats{Frontier: 5, Edges: 50})
+	c.add(1, LevelStats{AtomicOps: 3})
+	var dst []LevelStats
+	c.fold(&dst, time.Millisecond)
+
+	// Second level: only worker 1 deposits; worker 0's slot must have
+	// been cleared by the first fold.
+	c.add(1, LevelStats{Frontier: 1, Edges: 2, BitmapReads: 3})
+	c.fold(&dst, 2*time.Millisecond)
+	if len(dst) != 2 {
+		t.Fatalf("fold appended %d entries, want 2", len(dst))
+	}
+	want := LevelStats{Frontier: 1, Edges: 2, BitmapReads: 3, Duration: 2 * time.Millisecond}
+	if dst[1] != want {
+		t.Errorf("level 1 fold = %+v, want %+v (stale slot data?)", dst[1], want)
+	}
+}
+
+func TestStatsCollectorDisabledNoOp(t *testing.T) {
+	c := newStatsCollector(false, 4, nil)
+	if c.active() {
+		t.Error("disabled collector reports active")
+	}
+	// add and fold must be cheap no-ops that never touch dst.
+	c.add(0, LevelStats{Frontier: 100})
+	c.foldPhases(true)
+	var dst []LevelStats
+	c.fold(&dst, time.Second)
+	if dst != nil {
+		t.Errorf("disabled fold appended %v", dst)
+	}
+}
+
+func TestStatsCollectorTracerOnlyFeedsObs(t *testing.T) {
+	// Instrument off, but an obs collector attached: counts must fold
+	// into the obs layer without appearing in Result.PerLevel.
+	var got []obs.LevelBreakdown
+	rec := obs.NewCollector(obs.Config{Workers: 2, Tracer: obs.TracerFuncs{
+		LevelEnd: func(level int, b obs.LevelBreakdown) { got = append(got, b) },
+	}})
+	c := newStatsCollector(false, 2, rec)
+	if !c.active() {
+		t.Fatal("collector with obs recorder should be active")
+	}
+	c.add(0, LevelStats{Frontier: 3, Edges: 30})
+	c.add(1, LevelStats{Frontier: 1, Edges: 10, RemoteSends: 4})
+	var dst []LevelStats
+	c.fold(&dst, time.Millisecond)
+	c.foldPhases(false)
+	if dst != nil {
+		t.Errorf("Instrument off but PerLevel appended: %v", dst)
+	}
+	if len(got) != 1 {
+		t.Fatalf("obs saw %d level ends, want 1", len(got))
+	}
+	if got[0].Frontier != 4 || got[0].Edges != 40 || got[0].RemoteSends != 4 {
+		t.Errorf("obs breakdown = %+v", got[0].Counters)
+	}
+	if got[0].Duration != time.Millisecond {
+		t.Errorf("obs duration = %v", got[0].Duration)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mcbfs/internal/affinity"
 	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/queue"
 	"mcbfs/internal/topology"
 )
@@ -46,6 +47,8 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 	parents := newParents(n)
 	visited := bitmap.NewAtomic(n)
 
+	coll := newObsCollector(o, workers, sockets, AlgMultiSocket)
+
 	cqs := make([]*queue.ChunkQueue, sockets)
 	nqs := make([]*queue.ChunkQueue, sockets)
 	channels := make([]*queue.Channel, sockets)
@@ -58,7 +61,14 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 		cqs[s] = queue.NewChunkQueue(cap)
 		nqs[s] = queue.NewChunkQueue(cap)
 		channels[s] = queue.NewChannel()
+		if o.Trace {
+			channels[s].EnableStats()
+		}
 	}
+	// prevChan carries the previous level's cumulative channel counters
+	// so the coordinator can emit per-level deltas. Touched only by the
+	// barrier coordinator between barriers.
+	prevChan := make([]queue.ChannelStats, sockets)
 
 	bar := newBarrier(workers)
 	var done atomic.Bool
@@ -66,7 +76,7 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 	reachedCounts := make([]int64, workers)
 	levels := 0
 	var perLevel []LevelStats
-	collector := newStatsCollector(o.Instrument, workers)
+	collector := newStatsCollector(o.Instrument, workers, coll)
 	levelStart := time.Now()
 
 	start := time.Now()
@@ -84,6 +94,8 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 					defer unpin()
 				}
 			}
+			wr := coll.Worker(w)
+			var myEdges, myReached int64
 			this := o.Machine.SocketOfThread(w, workers)
 			myCQ := func() *queue.ChunkQueue { return cqs[this] }
 			myNQ := func() *queue.ChunkQueue { return nqs[this] }
@@ -108,7 +120,7 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 				stats.AtomicOps++
 				if !visited.TestAndSet(int(v)) {
 					parents[v] = parent
-					reachedCounts[w]++
+					myReached++
 					local = append(local, v)
 					if len(local) == cap(local) {
 						myNQ().PushBatch(local)
@@ -121,6 +133,7 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 				var stats LevelStats
 
 				// Phase 1: expand the local frontier.
+				tp := wr.PhaseStart()
 				for {
 					chunk := myCQ().PopChunk(o.ChunkSize)
 					if chunk == nil {
@@ -128,7 +141,6 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 					}
 					for _, u := range chunk {
 						nbrs := g.Neighbors(graph.Vertex(u))
-						edgeCounts[w] += int64(len(nbrs))
 						stats.Frontier++
 						stats.Edges += int64(len(nbrs))
 						for _, v := range nbrs {
@@ -141,6 +153,7 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 							remote[s] = append(remote[s], queue.Tuple{V: v, Parent: u})
 							if len(remote[s]) == cap(remote[s]) {
 								channels[s].SendBatch(remote[s])
+								wr.RemoteBatch(s, len(remote[s]))
 								remote[s] = remote[s][:0]
 							}
 						}
@@ -148,14 +161,19 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 				}
 				for s := range remote {
 					channels[s].SendBatch(remote[s])
+					wr.RemoteBatch(s, len(remote[s]))
 					remote[s] = remote[s][:0]
 				}
+				wr.PhaseEnd(obs.PhaseLocalScan, tp)
 
 				// All sends for this level are complete once every worker
 				// reaches the barrier; only then may anyone drain.
+				tp = wr.PhaseStart()
 				bar.wait()
+				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
 				// Phase 2: drain this socket's channel.
+				tp = wr.PhaseStart()
 				for {
 					got := channels[this].ReceiveBatch(recvBuf)
 					if got == 0 {
@@ -167,11 +185,26 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 				}
 				nqs[this].PushBatch(local)
 				local = local[:0]
+				wr.PhaseEnd(obs.PhaseQueueDrain, tp)
+				myEdges += stats.Edges
 				collector.add(w, stats)
 
+				tp = wr.PhaseStart()
 				if bar.wait() {
 					collector.fold(&perLevel, time.Since(levelStart))
 					levelStart = time.Now()
+					if o.Trace {
+						// Per-level channel samples: no sends are in
+						// flight between these barriers, so the deltas
+						// are exact.
+						for s := range channels {
+							cs := channels[s].Stats()
+							coll.AddChannelSample(s, cs.Tuples-prevChan[s].Tuples,
+								cs.Batches-prevChan[s].Batches, cs.MaxLen, cs.MaxBatch)
+							prevChan[s] = cs
+							channels[s].ResetHighWater()
+						}
+					}
 					total := 0
 					for s := 0; s < sockets; s++ {
 						cqs[s].Reset()
@@ -183,8 +216,14 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 						done.Store(true)
 					}
 				}
-				bar.wait()
+				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+				if bar.wait() {
+					collector.foldPhases(!done.Load())
+				}
+				wr.NextLevel()
 				if done.Load() {
+					edgeCounts[w] = myEdges
+					reachedCounts[w] = myReached
 					return
 				}
 			}
@@ -207,5 +246,6 @@ func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, erro
 		Algorithm:      AlgMultiSocket,
 		Threads:        workers,
 		PerLevel:       perLevel,
+		Trace:          coll.Finish(),
 	}, nil
 }

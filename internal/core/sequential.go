@@ -4,17 +4,22 @@ import (
 	"time"
 
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 )
 
 // sequentialBFS is the serial baseline: a textbook two-queue
 // level-synchronous BFS. It shares the Result bookkeeping (levels, m_a,
 // optional per-level stats) with the parallel tiers so that speedup
-// numbers compare identical work.
+// numbers compare identical work, and feeds the same observability
+// layer (one worker, local-scan phase only).
 func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
 	n := g.NumVertices()
 	parents := newParents(n)
 	cq := make([]uint32, 0, n)
 	nq := make([]uint32, 0, n)
+
+	coll := newObsCollector(o, 1, 1, AlgSequential)
+	wr := coll.Worker(0)
 
 	start := time.Now()
 	parents[root] = uint32(root)
@@ -23,14 +28,16 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 	var edges int64
 	levels := 0
 	var perLevel []LevelStats
+	observe := o.Instrument || coll != nil
 
 	for len(cq) > 0 && (o.MaxLevels == 0 || levels < o.MaxLevels) {
 		var stats LevelStats
 		levelStart := time.Now()
+		tp := wr.PhaseStart()
 		for _, u := range cq {
 			nbrs := g.Neighbors(graph.Vertex(u))
 			edges += int64(len(nbrs))
-			if o.Instrument {
+			if observe {
 				stats.Frontier++
 				stats.Edges += int64(len(nbrs))
 				stats.BitmapReads += int64(len(nbrs))
@@ -40,18 +47,29 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 					parents[v] = u
 					nq = append(nq, v)
 					reached++
-					if o.Instrument {
+					if observe {
 						stats.AtomicOps++ // the claim a parallel run would make atomic
 					}
 				}
 			}
 		}
+		wr.PhaseEnd(obs.PhaseLocalScan, tp)
 		levels++
+		stats.Duration = time.Since(levelStart)
 		if o.Instrument {
-			stats.Duration = time.Since(levelStart)
 			perLevel = append(perLevel, stats)
 		}
 		cq, nq = nq, cq[:0]
+		if coll != nil {
+			more := len(cq) > 0 && (o.MaxLevels == 0 || levels < o.MaxLevels)
+			coll.EndLevel(levelStart.Sub(coll.Origin()), stats.Duration, obs.Counters{
+				Frontier:    stats.Frontier,
+				Edges:       stats.Edges,
+				BitmapReads: stats.BitmapReads,
+				AtomicOps:   stats.AtomicOps,
+			}, more)
+			wr.NextLevel()
+		}
 	}
 
 	return &Result{
@@ -64,5 +82,6 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 		Algorithm:      AlgSequential,
 		Threads:        1,
 		PerLevel:       perLevel,
+		Trace:          coll.Finish(),
 	}, nil
 }

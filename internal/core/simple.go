@@ -7,6 +7,7 @@ import (
 
 	"mcbfs/internal/affinity"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/queue"
 )
 
@@ -32,7 +33,8 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 	reachedCounts := make([]int64, workers)
 	levels := 0
 	var perLevel []LevelStats
-	collector := newStatsCollector(o.Instrument, workers)
+	coll := newObsCollector(o, workers, 1, AlgParallelSimple)
+	collector := newStatsCollector(o.Instrument, workers, coll)
 	levelStart := time.Now()
 
 	start := time.Now()
@@ -49,9 +51,15 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 					defer unpin()
 				}
 			}
+			wr := coll.Worker(w)
+			// Run totals stay in worker-local variables until exit so
+			// the hot loop never writes a cache line another worker's
+			// totals live on.
+			var myEdges, myReached int64
 			local := make([]uint32, 0, o.LocalBatch)
 			for {
 				var stats LevelStats
+				tp := wr.PhaseStart()
 				for {
 					chunk := cq.PopChunk(o.ChunkSize)
 					if chunk == nil {
@@ -59,7 +67,6 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 					}
 					for _, u := range chunk {
 						nbrs := g.Neighbors(graph.Vertex(u))
-						edgeCounts[w] += int64(len(nbrs))
 						stats.Frontier++
 						stats.Edges += int64(len(nbrs))
 						for _, v := range nbrs {
@@ -68,7 +75,7 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 							// bitmap-style cheap probe.
 							stats.AtomicOps++
 							if atomic.CompareAndSwapUint32(&parents[v], NoParent, u) {
-								reachedCounts[w]++
+								myReached++
 								local = append(local, v)
 								if len(local) == cap(local) {
 									nq.PushBatch(local)
@@ -80,10 +87,13 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 				}
 				nq.PushBatch(local)
 				local = local[:0]
+				wr.PhaseEnd(obs.PhaseLocalScan, tp)
+				myEdges += stats.Edges
 				collector.add(w, stats)
 
 				// Everyone finished the level; the coordinator swaps the
 				// queues and decides termination.
+				tp = wr.PhaseStart()
 				if bar.wait() {
 					collector.fold(&perLevel, time.Since(levelStart))
 					levelStart = time.Now()
@@ -94,8 +104,14 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 						done.Store(true)
 					}
 				}
-				bar.wait()
+				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+				if bar.wait() {
+					collector.foldPhases(!done.Load())
+				}
+				wr.NextLevel()
 				if done.Load() {
+					edgeCounts[w] = myEdges
+					reachedCounts[w] = myReached
 					return
 				}
 			}
@@ -118,5 +134,6 @@ func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, e
 		Algorithm:      AlgParallelSimple,
 		Threads:        workers,
 		PerLevel:       perLevel,
+		Trace:          coll.Finish(),
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"mcbfs/internal/affinity"
 	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/queue"
 )
 
@@ -42,7 +43,8 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 	reachedCounts := make([]int64, workers)
 	levels := 0
 	var perLevel []LevelStats
-	collector := newStatsCollector(o.Instrument, workers)
+	coll := newObsCollector(o, workers, 1, AlgSingleSocket)
+	collector := newStatsCollector(o.Instrument, workers, coll)
 	levelStart := time.Now()
 
 	start := time.Now()
@@ -60,6 +62,8 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 					defer unpin()
 				}
 			}
+			wr := coll.Worker(w)
+			var myEdges, myReached int64
 			local := make([]uint32, 0, o.LocalBatch)
 			var probeHit []bool
 			if o.ProbeBatch > 0 {
@@ -70,7 +74,7 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 				stats.AtomicOps++
 				if !visited.TestAndSet(int(v)) {
 					parents[v] = u
-					reachedCounts[w]++
+					myReached++
 					local = append(local, v)
 					if len(local) == cap(local) {
 						nq.PushBatch(local)
@@ -80,6 +84,7 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 			}
 			for {
 				var stats LevelStats
+				tp := wr.PhaseStart()
 				for {
 					chunk := cq.PopChunk(o.ChunkSize)
 					if chunk == nil {
@@ -87,7 +92,6 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 					}
 					for _, u := range chunk {
 						nbrs := g.Neighbors(graph.Vertex(u))
-						edgeCounts[w] += int64(len(nbrs))
 						stats.Frontier++
 						stats.Edges += int64(len(nbrs))
 						if o.ProbeBatch > 0 && !o.DisableDoubleCheck {
@@ -129,8 +133,11 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 				}
 				nq.PushBatch(local)
 				local = local[:0]
+				wr.PhaseEnd(obs.PhaseLocalScan, tp)
+				myEdges += stats.Edges
 				collector.add(w, stats)
 
+				tp = wr.PhaseStart()
 				if bar.wait() {
 					collector.fold(&perLevel, time.Since(levelStart))
 					levelStart = time.Now()
@@ -141,8 +148,14 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 						done.Store(true)
 					}
 				}
-				bar.wait()
+				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+				if bar.wait() {
+					collector.foldPhases(!done.Load())
+				}
+				wr.NextLevel()
 				if done.Load() {
+					edgeCounts[w] = myEdges
+					reachedCounts[w] = myReached
 					return
 				}
 			}
@@ -165,5 +178,6 @@ func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, err
 		Algorithm:      AlgSingleSocket,
 		Threads:        workers,
 		PerLevel:       perLevel,
+		Trace:          coll.Finish(),
 	}, nil
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcbfs/internal/gen"
+	"mcbfs/internal/obs"
+	"mcbfs/internal/topology"
+)
+
+// traceOptions enumerates one tracing configuration per algorithm tier.
+func traceOptions(t *testing.T) []Options {
+	t.Helper()
+	return []Options{
+		{Algorithm: AlgSequential, Threads: 1},
+		{Algorithm: AlgParallelSimple, Threads: 3},
+		{Algorithm: AlgSingleSocket, Threads: 3},
+		{Algorithm: AlgMultiSocket, Threads: 4, Machine: topology.Generic(2, 2, 1)},
+		{Algorithm: AlgDirectionOptimizing, Threads: 3},
+	}
+}
+
+func TestTraceAcrossAlgorithms(t *testing.T) {
+	g, err := gen.Uniform(1<<12, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range traceOptions(t) {
+		opt.Trace = true
+		res, err := BFS(g, 0, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt.Algorithm, err)
+		}
+		tr := res.Trace
+		if tr == nil {
+			t.Fatalf("%v: Options.Trace set but Result.Trace nil", opt.Algorithm)
+		}
+		wantWorkers := opt.Threads
+		if tr.Workers != wantWorkers || len(tr.Timelines) != wantWorkers {
+			t.Errorf("%v: %d workers / %d timelines, want %d",
+				opt.Algorithm, tr.Workers, len(tr.Timelines), wantWorkers)
+		}
+		if len(tr.Levels) != res.Levels {
+			t.Errorf("%v: %d level breakdowns, want %d", opt.Algorithm, len(tr.Levels), res.Levels)
+		}
+		var edges int64
+		for i, b := range tr.Levels {
+			if b.Level != i {
+				t.Errorf("%v: breakdown %d has level %d", opt.Algorithm, i, b.Level)
+			}
+			edges += b.Edges
+		}
+		if edges != res.EdgesTraversed {
+			t.Errorf("%v: trace edges %d != traversed %d", opt.Algorithm, edges, res.EdgesTraversed)
+		}
+		for w, tl := range tr.Timelines {
+			if len(tl) == 0 {
+				t.Errorf("%v: worker %d has an empty timeline", opt.Algorithm, w)
+			}
+		}
+		// The trace must serialize to valid Chrome-trace JSON.
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("%v: WriteChromeTrace: %v", opt.Algorithm, err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Errorf("%v: chrome trace is not valid JSON", opt.Algorithm)
+		}
+		if err := tr.WriteBreakdown(&bytes.Buffer{}); err != nil {
+			t.Errorf("%v: WriteBreakdown: %v", opt.Algorithm, err)
+		}
+	}
+}
+
+func TestTraceMatchesInstrument(t *testing.T) {
+	g, err := gen.RMAT(11, 1<<14, gen.GTgraphDefaults, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, Options{
+		Algorithm: AlgSingleSocket, Threads: 2, Instrument: true, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerLevel) != len(res.Trace.Levels) {
+		t.Fatalf("PerLevel %d entries, Trace %d", len(res.PerLevel), len(res.Trace.Levels))
+	}
+	for i, ls := range res.PerLevel {
+		b := res.Trace.Levels[i]
+		if ls.Frontier != b.Frontier || ls.Edges != b.Edges ||
+			ls.BitmapReads != b.BitmapReads || ls.AtomicOps != b.AtomicOps {
+			t.Errorf("level %d: PerLevel %+v != Trace %+v", i, ls, b.Counters)
+		}
+	}
+}
+
+func TestTracerHooksFromBFS(t *testing.T) {
+	g, err := gen.Uniform(1<<12, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	starts, ends := 0, 0
+	var remoteTuples, barrierWaits int64
+	tracer := obs.TracerFuncs{
+		LevelStart: func(level int) { mu.Lock(); starts++; mu.Unlock() },
+		LevelEnd: func(level int, b obs.LevelBreakdown) {
+			mu.Lock()
+			ends++
+			mu.Unlock()
+		},
+		RemoteBatch: func(level, worker, toSocket, tuples int) {
+			atomic.AddInt64(&remoteTuples, int64(tuples))
+		},
+		BarrierWait: func(level, worker int, wait time.Duration) {
+			atomic.AddInt64(&barrierWaits, 1)
+		},
+	}
+	res, err := BFS(g, 0, Options{
+		Algorithm: AlgMultiSocket, Threads: 4,
+		Machine: topology.Generic(2, 2, 1), Tracer: tracer, Instrument: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("Tracer alone must not retain a full trace")
+	}
+	if ends != res.Levels {
+		t.Errorf("OnLevelEnd fired %d times, want %d", ends, res.Levels)
+	}
+	if starts != res.Levels {
+		t.Errorf("OnLevelStart fired %d times, want %d (one per level)", starts, res.Levels)
+	}
+	var wantRemote int64
+	for _, ls := range res.PerLevel {
+		wantRemote += ls.RemoteSends
+	}
+	if remoteTuples != wantRemote {
+		t.Errorf("OnRemoteBatch delivered %d tuples, instrument counted %d", remoteTuples, wantRemote)
+	}
+	if barrierWaits == 0 {
+		t.Error("OnBarrierWait never fired")
+	}
+}
+
+func TestTraceChannelSamples(t *testing.T) {
+	g, err := gen.Uniform(1<<13, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, Options{
+		Algorithm: AlgMultiSocket, Threads: 4,
+		Machine: topology.Generic(2, 2, 1), Trace: true, Instrument: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampleTuples int64
+	for _, cs := range res.Trace.Channels {
+		if cs.Socket < 0 || cs.Socket >= 2 {
+			t.Errorf("channel sample socket %d out of range", cs.Socket)
+		}
+		sampleTuples += cs.Tuples
+	}
+	var remote int64
+	for _, ls := range res.PerLevel {
+		remote += ls.RemoteSends
+	}
+	if remote == 0 {
+		t.Fatal("workload produced no remote sends; pick a bigger graph")
+	}
+	if sampleTuples != remote {
+		t.Errorf("channel samples total %d tuples, RemoteSends %d", sampleTuples, remote)
+	}
+}
+
+func TestTraceBarrierPhaseCoverage(t *testing.T) {
+	g, err := gen.Uniform(1<<12, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BFS(g, 0, Options{Algorithm: AlgSingleSocket, Threads: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan, barrier time.Duration
+	for _, b := range res.Trace.Levels {
+		scan += b.Phases[obs.PhaseLocalScan]
+		barrier += b.Phases[obs.PhaseBarrierWait]
+	}
+	if scan <= 0 {
+		t.Error("no local-scan time recorded")
+	}
+	if barrier <= 0 {
+		t.Error("no barrier-wait time recorded")
+	}
+}
+
+// TestTraceCorrectnessUnchanged guards against observability perturbing
+// the search itself: traced and untraced runs must produce identical
+// trees (modulo parent races, so compare reachability counts and
+// levels).
+func TestTraceCorrectnessUnchanged(t *testing.T) {
+	g, err := gen.RMAT(12, 1<<15, gen.GTgraphDefaults, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range traceOptions(t) {
+		base, err := BFS(g, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Trace = true
+		opt.Instrument = true
+		traced, err := BFS(g, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Reached != traced.Reached || base.Levels != traced.Levels ||
+			base.EdgesTraversed != traced.EdgesTraversed {
+			t.Errorf("%v: traced run diverged: reached %d/%d levels %d/%d edges %d/%d",
+				opt.Algorithm, base.Reached, traced.Reached, base.Levels, traced.Levels,
+				base.EdgesTraversed, traced.EdgesTraversed)
+		}
+		if err := ValidateTree(g, 0, traced.Parents); err != nil {
+			t.Errorf("%v: traced run produced an invalid tree: %v", opt.Algorithm, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a set of live, concurrency-safe counters fed by a Tracer
+// and publishable through expvar, for watching long-running BFS
+// workloads (e.g. bfsbench -pprof :6060, then
+// curl localhost:6060/debug/vars). The zero value is ready to use; one
+// Metrics may be shared by any number of concurrent searches.
+type Metrics struct {
+	// Searches counts BFS runs started; LevelsDone completed levels.
+	Searches   atomic.Int64
+	LevelsDone atomic.Int64
+	// Frontier and Edges accumulate the folded per-level counters.
+	Frontier    atomic.Int64
+	Edges       atomic.Int64
+	BitmapReads atomic.Int64
+	AtomicOps   atomic.Int64
+	// RemoteBatches and RemoteTuples count inter-socket channel flushes.
+	RemoteBatches atomic.Int64
+	RemoteTuples  atomic.Int64
+	// BarrierWaitNs, LocalScanNs and QueueDrainNs accumulate worker
+	// phase time in nanoseconds.
+	BarrierWaitNs atomic.Int64
+	LocalScanNs   atomic.Int64
+	QueueDrainNs  atomic.Int64
+}
+
+// Snapshot returns the current counter values keyed by name.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"searches":      m.Searches.Load(),
+		"levelsDone":    m.LevelsDone.Load(),
+		"frontier":      m.Frontier.Load(),
+		"edges":         m.Edges.Load(),
+		"bitmapReads":   m.BitmapReads.Load(),
+		"atomicOps":     m.AtomicOps.Load(),
+		"remoteBatches": m.RemoteBatches.Load(),
+		"remoteTuples":  m.RemoteTuples.Load(),
+		"barrierWaitNs": m.BarrierWaitNs.Load(),
+		"localScanNs":   m.LocalScanNs.Load(),
+		"queueDrainNs":  m.QueueDrainNs.Load(),
+	}
+}
+
+// Publish registers the metrics under name in the process-wide expvar
+// registry (served at /debug/vars by any net/http server using the
+// default mux). It panics, as expvar does, if name is already
+// published; publish once per process.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// Tracer returns a Tracer that feeds the metrics; attach it to
+// Options.Tracer. It is safe for concurrent use and may be combined
+// with other tracers via MultiTracer.
+func (m *Metrics) Tracer() Tracer {
+	return metricsTracer{m}
+}
+
+type metricsTracer struct{ m *Metrics }
+
+func (t metricsTracer) OnLevelStart(level int) {
+	if level == 0 {
+		t.m.Searches.Add(1)
+	}
+}
+
+func (t metricsTracer) OnLevelEnd(level int, b LevelBreakdown) {
+	t.m.LevelsDone.Add(1)
+	t.m.Frontier.Add(b.Frontier)
+	t.m.Edges.Add(b.Edges)
+	t.m.BitmapReads.Add(b.BitmapReads)
+	t.m.AtomicOps.Add(b.AtomicOps)
+	t.m.LocalScanNs.Add(int64(b.Phases[PhaseLocalScan]))
+	t.m.QueueDrainNs.Add(int64(b.Phases[PhaseQueueDrain]))
+}
+
+func (t metricsTracer) OnRemoteBatch(level, worker, toSocket, tuples int) {
+	t.m.RemoteBatches.Add(1)
+	t.m.RemoteTuples.Add(int64(tuples))
+}
+
+func (t metricsTracer) OnBarrierWait(level, worker int, wait time.Duration) {
+	t.m.BarrierWaitNs.Add(int64(wait))
+}
+
+// MultiTracer fans callbacks out to every tracer in order.
+func MultiTracer(tracers ...Tracer) Tracer {
+	ts := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	return multiTracer(ts)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) OnLevelStart(level int) {
+	for _, t := range m {
+		t.OnLevelStart(level)
+	}
+}
+
+func (m multiTracer) OnLevelEnd(level int, b LevelBreakdown) {
+	for _, t := range m {
+		t.OnLevelEnd(level, b)
+	}
+}
+
+func (m multiTracer) OnRemoteBatch(level, worker, toSocket, tuples int) {
+	for _, t := range m {
+		t.OnRemoteBatch(level, worker, toSocket, tuples)
+	}
+}
+
+func (m multiTracer) OnBarrierWait(level, worker int, wait time.Duration) {
+	for _, t := range m {
+		t.OnBarrierWait(level, worker, wait)
+	}
+}

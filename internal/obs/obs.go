@@ -1,0 +1,386 @@
+// Package obs is the observability layer of the BFS engine: per-worker,
+// per-level phase timers and counters deposited in cache-line-padded
+// worker slots, folded at the level barrier into a structured trace, a
+// pluggable Tracer hook interface, and live metrics publishable via
+// expvar.
+//
+// The design rule is the one the hot loop lives by: workers never share
+// a cache line and never execute an atomic operation on behalf of
+// observability. Each worker writes only its own padded slot; the
+// elected barrier coordinator folds all slots in the window between the
+// two level barriers, when no worker is writing. Phase slots are
+// double-buffered by level parity so the fold of level L can overlap
+// the first writes of level L+1 without a race.
+//
+// When tracing is disabled the collector is a nil pointer and every
+// recording method is a nil-receiver no-op, so the only cost on the hot
+// path is a handful of predictable nil-checks per level — no atomics,
+// no allocation, no time.Now calls.
+package obs
+
+import (
+	"time"
+	"unsafe"
+)
+
+// Phase labels one portion of a worker's time within a BFS level.
+type Phase uint8
+
+const (
+	// PhaseLocalScan is top-down expansion of the worker's share of the
+	// current frontier (paper Algorithm 3 phase 1, or the whole level in
+	// the single-socket tiers).
+	PhaseLocalScan Phase = iota
+	// PhaseQueueDrain is draining the socket's inter-socket channel
+	// (paper Algorithm 3 phase 2).
+	PhaseQueueDrain
+	// PhaseBarrierWait is time parked at level barriers waiting for
+	// stragglers — the load-imbalance signal.
+	PhaseBarrierWait
+	// PhaseFrontierBuild is constructing the frontier bitmap before a
+	// bottom-up sweep (direction-optimizing tier only).
+	PhaseFrontierBuild
+	// PhaseBottomUpScan is the bottom-up sweep over unvisited vertices
+	// (direction-optimizing tier only).
+	PhaseBottomUpScan
+	// NumPhases bounds the Phase enum; LevelBreakdown.Phases is indexed
+	// by Phase.
+	NumPhases
+)
+
+// String returns the phase name used in Chrome traces and tables.
+func (p Phase) String() string {
+	switch p {
+	case PhaseLocalScan:
+		return "local-scan"
+	case PhaseQueueDrain:
+		return "queue-drain"
+	case PhaseBarrierWait:
+		return "barrier-wait"
+	case PhaseFrontierBuild:
+		return "frontier-build"
+	case PhaseBottomUpScan:
+		return "bottom-up-scan"
+	default:
+		return "phase?"
+	}
+}
+
+// Span is one contiguous stretch of a worker's timeline. Start is the
+// offset from the start of the run.
+type Span struct {
+	Level int
+	Phase Phase
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Counters are the per-level tallies shared with core.LevelStats.
+type Counters struct {
+	Frontier    int64
+	Edges       int64
+	BitmapReads int64
+	AtomicOps   int64
+	RemoteSends int64
+}
+
+// LevelBreakdown is one level's folded observability record: the
+// counter totals plus per-phase worker-time sums (a phase entry is the
+// sum over all workers, so it can exceed Duration on multi-worker
+// runs).
+type LevelBreakdown struct {
+	Level int
+	// Start is the level's offset from the start of the run; Duration
+	// its wall-clock time as stamped by the level coordinator.
+	Start    time.Duration
+	Duration time.Duration
+	Counters
+	// RemoteBatches and RemoteTuples count inter-socket channel flushes
+	// issued by workers during the level.
+	RemoteBatches int64
+	RemoteTuples  int64
+	// Phases[p] is the total worker time spent in phase p.
+	Phases [NumPhases]time.Duration
+}
+
+// ChannelSample is one level's view of one inter-socket channel.
+type ChannelSample struct {
+	Level  int
+	Socket int
+	// Tuples and Batches are the tuples and SendBatch flushes that
+	// crossed the channel during the level.
+	Tuples  int64
+	Batches int64
+	// MaxLen is the channel's occupancy high-water mark during the
+	// level; MaxBatch the largest single flush.
+	MaxLen   int
+	MaxBatch int
+}
+
+// Tracer receives observability callbacks from a BFS run. Methods are
+// invoked from worker goroutines concurrently (OnRemoteBatch,
+// OnBarrierWait) and from the level coordinator (OnLevelStart,
+// OnLevelEnd); implementations must be safe for concurrent use. A nil
+// Tracer disables the hooks at zero cost.
+type Tracer interface {
+	// OnLevelStart fires when a level begins (level 0 fires as the run
+	// starts).
+	OnLevelStart(level int)
+	// OnLevelEnd fires at the level barrier with the folded breakdown.
+	OnLevelEnd(level int, b LevelBreakdown)
+	// OnRemoteBatch fires when worker flushes a batch of tuples into
+	// the channel of socket toSocket.
+	OnRemoteBatch(level, worker, toSocket, tuples int)
+	// OnBarrierWait fires after worker has waited wait at a level
+	// barrier.
+	OnBarrierWait(level, worker int, wait time.Duration)
+}
+
+// TracerFuncs adapts plain functions to the Tracer interface; nil
+// fields are skipped.
+type TracerFuncs struct {
+	LevelStart  func(level int)
+	LevelEnd    func(level int, b LevelBreakdown)
+	RemoteBatch func(level, worker, toSocket, tuples int)
+	BarrierWait func(level, worker int, wait time.Duration)
+}
+
+func (t TracerFuncs) OnLevelStart(level int) {
+	if t.LevelStart != nil {
+		t.LevelStart(level)
+	}
+}
+
+func (t TracerFuncs) OnLevelEnd(level int, b LevelBreakdown) {
+	if t.LevelEnd != nil {
+		t.LevelEnd(level, b)
+	}
+}
+
+func (t TracerFuncs) OnRemoteBatch(level, worker, toSocket, tuples int) {
+	if t.RemoteBatch != nil {
+		t.RemoteBatch(level, worker, toSocket, tuples)
+	}
+}
+
+func (t TracerFuncs) OnBarrierWait(level, worker int, wait time.Duration) {
+	if t.BarrierWait != nil {
+		t.BarrierWait(level, worker, wait)
+	}
+}
+
+const cacheLine = 64
+
+// workerState is the unpadded per-worker recording state. Phase and
+// remote tallies are double-buffered by level parity: workers write
+// buffer L&1 during level L, the coordinator folds buffer L&1 at the
+// level's closing barrier while workers may already be writing buffer
+// (L+1)&1. The collector's configuration is copied in (rather than
+// held by pointer) so the pad below is not a recursive size.
+type workerState struct {
+	tracer        Tracer
+	traceOn       bool
+	origin        time.Time
+	w             int
+	level         int
+	phases        [2][NumPhases]time.Duration
+	remoteBatches [2]int64
+	remoteTuples  [2]int64
+	spans         []Span
+}
+
+// WorkerRec records one worker's phases. All methods are no-ops on a
+// nil receiver, so the hot path carries only the nil-check.
+type WorkerRec struct {
+	workerState
+	_ [(cacheLine - unsafe.Sizeof(workerState{})%cacheLine) % cacheLine]byte
+}
+
+// PhaseStart stamps the beginning of a phase. On a nil receiver it
+// returns the zero time without touching the clock.
+func (r *WorkerRec) PhaseStart() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PhaseEnd closes a phase opened with PhaseStart, crediting its
+// duration to the worker's current-level slot, appending a timeline
+// span when full tracing is on, and firing the OnBarrierWait hook for
+// barrier phases.
+func (r *WorkerRec) PhaseEnd(p Phase, start time.Time) {
+	if r == nil {
+		return
+	}
+	d := time.Since(start)
+	r.phases[r.level&1][p] += d
+	if r.traceOn {
+		r.spans = append(r.spans, Span{Level: r.level, Phase: p, Start: start.Sub(r.origin), Dur: d})
+	}
+	if p == PhaseBarrierWait && r.tracer != nil {
+		r.tracer.OnBarrierWait(r.level, r.w, d)
+	}
+}
+
+// RemoteBatch records a flush of tuples into socket toSocket's channel
+// and fires the OnRemoteBatch hook.
+func (r *WorkerRec) RemoteBatch(toSocket, tuples int) {
+	if r == nil || tuples == 0 {
+		return
+	}
+	par := r.level & 1
+	r.remoteBatches[par]++
+	r.remoteTuples[par] += int64(tuples)
+	if r.tracer != nil {
+		r.tracer.OnRemoteBatch(r.level, r.w, toSocket, tuples)
+	}
+}
+
+// NextLevel advances the worker's level counter. Call it after the
+// level's closing barrier, once all of the level's phases are recorded.
+func (r *WorkerRec) NextLevel() {
+	if r == nil {
+		return
+	}
+	r.level++
+}
+
+// Config configures a Collector.
+type Config struct {
+	// Workers is the number of worker goroutines.
+	Workers int
+	// Sockets is the number of logical sockets (for channel tracks).
+	Sockets int
+	// Algorithm names the BFS tier, for trace metadata.
+	Algorithm string
+	// Trace retains the full structured trace (timelines, level
+	// breakdowns, channel samples) for Finish to return.
+	Trace bool
+	// Tracer receives callbacks; may be nil.
+	Tracer Tracer
+}
+
+// Collector coordinates per-worker recording for one BFS run. A nil
+// *Collector is valid and disables everything.
+type Collector struct {
+	origin  time.Time
+	tracer  Tracer
+	trace   *Trace
+	workers []WorkerRec
+	level   int
+}
+
+// NewCollector builds a collector for one run and stamps the run
+// origin; construct it immediately before the search starts. It fires
+// OnLevelStart(0).
+func NewCollector(cfg Config) *Collector {
+	c := &Collector{
+		origin:  time.Now(),
+		tracer:  cfg.Tracer,
+		workers: make([]WorkerRec, cfg.Workers),
+	}
+	if cfg.Trace {
+		c.trace = &Trace{
+			Workers:   cfg.Workers,
+			Sockets:   cfg.Sockets,
+			Algorithm: cfg.Algorithm,
+		}
+	}
+	for i := range c.workers {
+		ws := &c.workers[i].workerState
+		ws.tracer = c.tracer
+		ws.traceOn = c.trace != nil
+		ws.origin = c.origin
+		ws.w = i
+	}
+	if c.tracer != nil {
+		c.tracer.OnLevelStart(0)
+	}
+	return c
+}
+
+// Origin returns the run's time origin (span offsets are relative to
+// it). Zero on a nil receiver.
+func (c *Collector) Origin() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return c.origin
+}
+
+// Worker returns worker w's recorder, or nil on a nil collector.
+func (c *Collector) Worker(w int) *WorkerRec {
+	if c == nil {
+		return nil
+	}
+	return &c.workers[w]
+}
+
+// AddChannelSample appends one channel's per-level sample for the level
+// currently being folded. Call it from the closing-barrier coordinator,
+// before EndLevel.
+func (c *Collector) AddChannelSample(socket int, tuples, batches int64, maxLen, maxBatch int) {
+	if c == nil || c.trace == nil {
+		return
+	}
+	c.trace.Channels = append(c.trace.Channels, ChannelSample{
+		Level:    c.level,
+		Socket:   socket,
+		Tuples:   tuples,
+		Batches:  batches,
+		MaxLen:   maxLen,
+		MaxBatch: maxBatch,
+	})
+}
+
+// EndLevel folds every worker's current-parity phase slots into one
+// LevelBreakdown, clears them for reuse two levels later, appends the
+// breakdown to the trace, and fires OnLevelEnd (and OnLevelStart for
+// the next level when more is true).
+//
+// It must be called from the coordinator elected at the level's closing
+// barrier — the window in which every worker has finished writing the
+// level's slots and is at most writing the other parity.
+func (c *Collector) EndLevel(start, dur time.Duration, ct Counters, more bool) {
+	if c == nil {
+		return
+	}
+	par := c.level & 1
+	b := LevelBreakdown{Level: c.level, Start: start, Duration: dur, Counters: ct}
+	for i := range c.workers {
+		ws := &c.workers[i].workerState
+		for p := Phase(0); p < NumPhases; p++ {
+			b.Phases[p] += ws.phases[par][p]
+			ws.phases[par][p] = 0
+		}
+		b.RemoteBatches += ws.remoteBatches[par]
+		b.RemoteTuples += ws.remoteTuples[par]
+		ws.remoteBatches[par] = 0
+		ws.remoteTuples[par] = 0
+	}
+	if c.trace != nil {
+		c.trace.Levels = append(c.trace.Levels, b)
+	}
+	if c.tracer != nil {
+		c.tracer.OnLevelEnd(c.level, b)
+	}
+	c.level++
+	if more && c.tracer != nil {
+		c.tracer.OnLevelStart(c.level)
+	}
+}
+
+// Finish assembles and returns the structured trace, or nil when full
+// tracing was not requested. Call it only after every worker has
+// exited.
+func (c *Collector) Finish() *Trace {
+	if c == nil || c.trace == nil {
+		return nil
+	}
+	c.trace.Timelines = make([][]Span, len(c.workers))
+	for i := range c.workers {
+		c.trace.Timelines[i] = c.workers[i].spans
+	}
+	return c.trace
+}

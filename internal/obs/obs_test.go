@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestWorkerRecPadding(t *testing.T) {
+	if s := unsafe.Sizeof(WorkerRec{}); s%64 != 0 {
+		t.Errorf("WorkerRec size %d is not a multiple of the cache line", s)
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	wr := c.Worker(0)
+	if wr != nil {
+		t.Fatalf("nil collector returned non-nil worker")
+	}
+	start := wr.PhaseStart()
+	if !start.IsZero() {
+		t.Errorf("nil WorkerRec.PhaseStart touched the clock: %v", start)
+	}
+	// None of these may panic.
+	wr.PhaseEnd(PhaseLocalScan, start)
+	wr.RemoteBatch(1, 10)
+	wr.NextLevel()
+	c.EndLevel(0, 0, Counters{}, true)
+	c.AddChannelSample(0, 1, 1, 1, 1)
+	if c.Finish() != nil {
+		t.Errorf("nil collector produced a trace")
+	}
+}
+
+func TestCollectorFoldAndParity(t *testing.T) {
+	c := NewCollector(Config{Workers: 2, Sockets: 1, Algorithm: "test", Trace: true})
+
+	// Level 0: both workers record a local-scan phase.
+	for w := 0; w < 2; w++ {
+		wr := c.Worker(w)
+		wr.workerState.phases[0][PhaseLocalScan] = time.Duration(w+1) * time.Millisecond
+		wr.RemoteBatch(0, 5)
+	}
+	c.EndLevel(0, 3*time.Millisecond, Counters{Frontier: 7, Edges: 70}, true)
+	c.Worker(0).NextLevel()
+	c.Worker(1).NextLevel()
+
+	// Level 1 writes must land in the other parity buffer and not leak
+	// into level 0's folded record.
+	c.Worker(0).workerState.phases[1][PhaseBarrierWait] = 4 * time.Millisecond
+	c.EndLevel(3*time.Millisecond, 4*time.Millisecond, Counters{Frontier: 1}, false)
+
+	tr := c.Finish()
+	if tr == nil {
+		t.Fatal("no trace")
+	}
+	if len(tr.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(tr.Levels))
+	}
+	b0 := tr.Levels[0]
+	if b0.Phases[PhaseLocalScan] != 3*time.Millisecond {
+		t.Errorf("level 0 local-scan = %v, want 3ms", b0.Phases[PhaseLocalScan])
+	}
+	if b0.Phases[PhaseBarrierWait] != 0 {
+		t.Errorf("level 0 barrier-wait leaked from level 1: %v", b0.Phases[PhaseBarrierWait])
+	}
+	if b0.RemoteTuples != 10 || b0.RemoteBatches != 2 {
+		t.Errorf("level 0 remote = %d tuples / %d batches, want 10/2", b0.RemoteTuples, b0.RemoteBatches)
+	}
+	if b0.Frontier != 7 || b0.Edges != 70 {
+		t.Errorf("level 0 counters = %+v", b0.Counters)
+	}
+	b1 := tr.Levels[1]
+	if b1.Phases[PhaseBarrierWait] != 4*time.Millisecond {
+		t.Errorf("level 1 barrier-wait = %v, want 4ms", b1.Phases[PhaseBarrierWait])
+	}
+	if b1.RemoteTuples != 0 {
+		t.Errorf("level 1 remote tuples not cleared: %d", b1.RemoteTuples)
+	}
+	// Folding clears the slots for reuse two levels later.
+	if got := c.Worker(0).workerState.phases[0][PhaseLocalScan]; got != 0 {
+		t.Errorf("parity-0 slot not cleared after fold: %v", got)
+	}
+}
+
+func TestSpansRecorded(t *testing.T) {
+	c := NewCollector(Config{Workers: 1, Trace: true})
+	wr := c.Worker(0)
+	start := wr.PhaseStart()
+	time.Sleep(time.Millisecond)
+	wr.PhaseEnd(PhaseLocalScan, start)
+	c.EndLevel(0, time.Millisecond, Counters{}, false)
+	tr := c.Finish()
+	if len(tr.Timelines) != 1 || len(tr.Timelines[0]) != 1 {
+		t.Fatalf("timelines = %v", tr.Timelines)
+	}
+	s := tr.Timelines[0][0]
+	if s.Phase != PhaseLocalScan || s.Level != 0 || s.Dur <= 0 || s.Start < 0 {
+		t.Errorf("span = %+v", s)
+	}
+}
+
+func TestTracerHooks(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	rec := func(e string) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}
+	tr := TracerFuncs{
+		LevelStart:  func(level int) { rec("start") },
+		LevelEnd:    func(level int, b LevelBreakdown) { rec("end") },
+		RemoteBatch: func(level, worker, toSocket, tuples int) { rec("batch") },
+		BarrierWait: func(level, worker int, wait time.Duration) { rec("wait") },
+	}
+	c := NewCollector(Config{Workers: 1, Tracer: tr})
+	wr := c.Worker(0)
+	wr.RemoteBatch(1, 3)
+	wr.PhaseEnd(PhaseBarrierWait, wr.PhaseStart())
+	c.EndLevel(0, time.Millisecond, Counters{}, true) // fires end + next start
+	c.EndLevel(0, time.Millisecond, Counters{}, false)
+	want := []string{"start", "batch", "wait", "end", "start", "end"}
+	if strings.Join(events, ",") != strings.Join(want, ",") {
+		t.Errorf("events = %v, want %v", events, want)
+	}
+}
+
+func TestTracerFuncsNilFields(t *testing.T) {
+	// A zero TracerFuncs must be usable.
+	var tr TracerFuncs
+	tr.OnLevelStart(0)
+	tr.OnLevelEnd(0, LevelBreakdown{})
+	tr.OnRemoteBatch(0, 0, 0, 0)
+	tr.OnBarrierWait(0, 0, 0)
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := NewCollector(Config{Workers: 2, Sockets: 2, Algorithm: "multi-socket", Trace: true})
+	for w := 0; w < 2; w++ {
+		wr := c.Worker(w)
+		wr.PhaseEnd(PhaseLocalScan, wr.PhaseStart())
+		wr.PhaseEnd(PhaseBarrierWait, wr.PhaseStart())
+	}
+	c.AddChannelSample(0, 100, 3, 80, 64)
+	c.AddChannelSample(1, 50, 1, 50, 50)
+	c.EndLevel(0, time.Millisecond, Counters{Frontier: 1}, false)
+
+	var buf bytes.Buffer
+	if err := c.Finish().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var workerTracks, spans, levels, chans int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			if name, _ := e.Args["name"].(string); strings.HasPrefix(name, "worker") {
+				workerTracks++
+			}
+		case e.Ph == "X" && strings.HasPrefix(e.Name, "level"):
+			levels++
+		case e.Ph == "X" && strings.Contains(e.Name, "tuples"):
+			chans++
+		case e.Ph == "X":
+			spans++
+		}
+	}
+	if workerTracks != 2 {
+		t.Errorf("worker tracks = %d, want 2", workerTracks)
+	}
+	if spans != 4 {
+		t.Errorf("phase spans = %d, want 4", spans)
+	}
+	if levels != 1 {
+		t.Errorf("level events = %d, want 1", levels)
+	}
+	if chans != 2 {
+		t.Errorf("channel events = %d, want 2", chans)
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	c := NewCollector(Config{Workers: 2, Trace: true})
+	wr := c.Worker(0)
+	wr.workerState.phases[0][PhaseLocalScan] = 2 * time.Millisecond
+	c.EndLevel(0, 2*time.Millisecond, Counters{Frontier: 9, Edges: 81}, false)
+	var buf bytes.Buffer
+	if err := c.Finish().WriteBreakdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 2ms of scan over 2 workers × 2ms = 50%.
+	if !strings.Contains(out, "50.0") || !strings.Contains(out, "total") {
+		t.Errorf("breakdown output:\n%s", out)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var m Metrics
+	tr := m.Tracer()
+	tr.OnLevelStart(0)
+	tr.OnLevelStart(1) // not a new search
+	b := LevelBreakdown{Counters: Counters{Frontier: 4, Edges: 40, BitmapReads: 30, AtomicOps: 5}}
+	b.Phases[PhaseLocalScan] = time.Millisecond
+	tr.OnLevelEnd(0, b)
+	tr.OnRemoteBatch(0, 0, 1, 64)
+	tr.OnBarrierWait(0, 0, time.Microsecond)
+
+	s := m.Snapshot()
+	want := map[string]int64{
+		"searches": 1, "levelsDone": 1, "frontier": 4, "edges": 40,
+		"bitmapReads": 30, "atomicOps": 5, "remoteBatches": 1, "remoteTuples": 64,
+		"barrierWaitNs": 1000, "localScanNs": 1e6,
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("%s = %d, want %d", k, s[k], v)
+		}
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	var a, b Metrics
+	mt := MultiTracer(a.Tracer(), nil, b.Tracer())
+	mt.OnLevelStart(0)
+	mt.OnLevelEnd(0, LevelBreakdown{Counters: Counters{Edges: 7}})
+	mt.OnRemoteBatch(0, 0, 0, 2)
+	mt.OnBarrierWait(0, 0, time.Millisecond)
+	for _, m := range []*Metrics{&a, &b} {
+		if m.Searches.Load() != 1 || m.Edges.Load() != 7 || m.RemoteTuples.Load() != 2 {
+			t.Errorf("metrics not fanned out: %+v", m.Snapshot())
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	names := map[Phase]string{
+		PhaseLocalScan:     "local-scan",
+		PhaseQueueDrain:    "queue-drain",
+		PhaseBarrierWait:   "barrier-wait",
+		PhaseFrontierBuild: "frontier-build",
+		PhaseBottomUpScan:  "bottom-up-scan",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

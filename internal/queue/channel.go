@@ -31,11 +31,60 @@ type Channel struct {
 	prodLock TicketLock
 	consLock TicketLock
 	q        *SPSC
+	// stats is nil unless EnableStats was called; the send path then
+	// updates it under the producer lock it already holds, so enabling
+	// statistics adds no atomic operations — only one predictable
+	// nil-check per batch.
+	stats *ChannelStats
+}
+
+// ChannelStats are a channel's cumulative flush statistics.
+type ChannelStats struct {
+	// Batches counts non-empty SendBatch calls; Tuples the tuples they
+	// carried.
+	Batches int64
+	Tuples  int64
+	// MaxBatch is the largest single flush; MaxLen the occupancy
+	// high-water mark observed after a flush (since the last
+	// ResetHighWater).
+	MaxBatch int
+	MaxLen   int
 }
 
 // NewChannel returns an empty channel.
 func NewChannel() *Channel {
 	return &Channel{q: NewSPSC()}
+}
+
+// EnableStats turns on flush accounting. Call it before the channel is
+// shared between goroutines.
+func (c *Channel) EnableStats() {
+	c.stats = &ChannelStats{}
+}
+
+// Stats snapshots the cumulative statistics (zero value when stats are
+// not enabled). It takes the producer lock, so it is safe to call
+// concurrently with senders.
+func (c *Channel) Stats() ChannelStats {
+	if c.stats == nil {
+		return ChannelStats{}
+	}
+	c.prodLock.Lock()
+	s := *c.stats
+	c.prodLock.Unlock()
+	return s
+}
+
+// ResetHighWater clears the occupancy and batch high-water marks (for
+// per-level sampling); the cumulative counters are untouched.
+func (c *Channel) ResetHighWater() {
+	if c.stats == nil {
+		return
+	}
+	c.prodLock.Lock()
+	c.stats.MaxLen = 0
+	c.stats.MaxBatch = 0
+	c.prodLock.Unlock()
 }
 
 // SendBatch enqueues every tuple in batch under one producer-lock
@@ -48,6 +97,16 @@ func (c *Channel) SendBatch(batch []Tuple) {
 	for _, t := range batch {
 		c.q.Enqueue(packTuple(t))
 	}
+	if c.stats != nil {
+		c.stats.Batches++
+		c.stats.Tuples += int64(len(batch))
+		if len(batch) > c.stats.MaxBatch {
+			c.stats.MaxBatch = len(batch)
+		}
+		if n := c.q.Len(); n > c.stats.MaxLen {
+			c.stats.MaxLen = n
+		}
+	}
 	c.prodLock.Unlock()
 }
 
@@ -55,6 +114,16 @@ func (c *Channel) SendBatch(batch []Tuple) {
 func (c *Channel) Send(t Tuple) {
 	c.prodLock.Lock()
 	c.q.Enqueue(packTuple(t))
+	if c.stats != nil {
+		c.stats.Batches++
+		c.stats.Tuples++
+		if c.stats.MaxBatch < 1 {
+			c.stats.MaxBatch = 1
+		}
+		if n := c.q.Len(); n > c.stats.MaxLen {
+			c.stats.MaxLen = n
+		}
+	}
 	c.prodLock.Unlock()
 }
 

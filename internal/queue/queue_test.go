@@ -356,6 +356,50 @@ func TestChannelManyProducersManyConsumers(t *testing.T) {
 	}
 }
 
+func TestChannelStats(t *testing.T) {
+	c := NewChannel()
+	// Stats off: everything reads as zero.
+	c.SendBatch([]Tuple{{V: 1}})
+	if s := c.Stats(); s != (ChannelStats{}) {
+		t.Errorf("stats without EnableStats = %+v", s)
+	}
+
+	c = NewChannel()
+	c.EnableStats()
+	c.SendBatch(nil) // empty flushes are not batches
+	c.SendBatch([]Tuple{{V: 1}, {V: 2}, {V: 3}})
+	c.SendBatch([]Tuple{{V: 4}})
+	c.Send(Tuple{V: 5})
+	s := c.Stats()
+	if s.Batches != 3 || s.Tuples != 5 {
+		t.Errorf("batches=%d tuples=%d, want 3/5", s.Batches, s.Tuples)
+	}
+	if s.MaxBatch != 3 {
+		t.Errorf("MaxBatch = %d, want 3", s.MaxBatch)
+	}
+	if s.MaxLen != 5 {
+		t.Errorf("MaxLen = %d, want 5 (nothing drained yet)", s.MaxLen)
+	}
+
+	// High-water marks reset; cumulative counters survive.
+	c.ResetHighWater()
+	s = c.Stats()
+	if s.MaxBatch != 0 || s.MaxLen != 0 {
+		t.Errorf("high-water not reset: %+v", s)
+	}
+	if s.Batches != 3 || s.Tuples != 5 {
+		t.Errorf("cumulative counters lost on reset: %+v", s)
+	}
+
+	// Draining then sending again: MaxLen reflects post-drain occupancy.
+	buf := make([]Tuple, 8)
+	c.ReceiveBatch(buf)
+	c.SendBatch([]Tuple{{V: 6}})
+	if s = c.Stats(); s.MaxLen != 1 {
+		t.Errorf("MaxLen after drain+send = %d, want 1", s.MaxLen)
+	}
+}
+
 func TestQuickTuplePackRoundTrip(t *testing.T) {
 	f := func(v, p uint32) bool {
 		v &= 1<<31 - 1

@@ -45,6 +45,7 @@ import (
 	"mcbfs/internal/gen"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/graph500"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/ssca2"
 	"mcbfs/internal/stats"
 	"mcbfs/internal/topology"
@@ -72,6 +73,43 @@ type LevelStats = core.LevelStats
 
 // Algorithm selects a BFS implementation tier.
 type Algorithm = core.Algorithm
+
+// Tracer receives observability callbacks from a BFS run (attach via
+// Options.Tracer); implementations must be safe for concurrent use.
+type Tracer = obs.Tracer
+
+// TracerFuncs adapts plain functions to the Tracer interface.
+type TracerFuncs = obs.TracerFuncs
+
+// Trace is the structured record of a traced BFS run (enable with
+// Options.Trace, read from Result.Trace); export it with
+// Trace.WriteChromeTrace for Perfetto or chrome://tracing.
+type Trace = obs.Trace
+
+// Span is one phase of one worker's timeline within a Trace.
+type Span = obs.Span
+
+// LevelBreakdown is one level's folded counters and phase times.
+type LevelBreakdown = obs.LevelBreakdown
+
+// Phase labels a portion of a worker's time within a level.
+type Phase = obs.Phase
+
+// Metrics is a set of live counters fed by Metrics.Tracer() and
+// publishable via expvar.
+type Metrics = obs.Metrics
+
+// Phases of a worker's timeline.
+const (
+	PhaseLocalScan     = obs.PhaseLocalScan
+	PhaseQueueDrain    = obs.PhaseQueueDrain
+	PhaseBarrierWait   = obs.PhaseBarrierWait
+	PhaseFrontierBuild = obs.PhaseFrontierBuild
+	PhaseBottomUpScan  = obs.PhaseBottomUpScan
+)
+
+// MultiTracer fans tracer callbacks out to several tracers.
+func MultiTracer(tracers ...Tracer) Tracer { return obs.MultiTracer(tracers...) }
 
 // Machine describes a shared-memory system's shape.
 type Machine = topology.Machine
