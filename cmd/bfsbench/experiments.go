@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -80,13 +81,28 @@ func measuredThreads(cfg harnessConfig) []int {
 // invocation.
 var graphCache = map[string]*graph.Graph{}
 
+// reportConstruction notes every fresh measured-graph build on stderr —
+// construction time reported separately from the search rates in the
+// experiment tables, without disturbing -o report output.
+func reportConstruction(what string, g *graph.Graph, d time.Duration) {
+	rate := 0.0
+	if s := d.Seconds(); s > 0 {
+		rate = float64(g.NumEdges()) / s
+	}
+	fmt.Fprintf(os.Stderr, "bfsbench: constructed %s (%s vertices, %s edges) in %v — %s construction, %d-way build\n",
+		what, stats.FormatCount(int64(g.NumVertices())), stats.FormatCount(g.NumEdges()),
+		d.Round(time.Millisecond), stats.FormatRate(rate), graph.BuildParallelism())
+}
+
 func measuredUniform(n, d int, seed uint64) (*graph.Graph, error) {
 	key := fmt.Sprintf("u/%d/%d/%d", n, d, seed)
 	if g, ok := graphCache[key]; ok {
 		return g, nil
 	}
+	start := time.Now()
 	g, err := gen.Uniform(n, d, seed)
 	if err == nil {
+		reportConstruction(fmt.Sprintf("uniform d=%d", d), g, time.Since(start))
 		graphCache[key] = g
 	}
 	return g, err
@@ -97,8 +113,10 @@ func measuredRMAT(scale int, m int64, seed uint64) (*graph.Graph, error) {
 	if g, ok := graphCache[key]; ok {
 		return g, nil
 	}
+	start := time.Now()
 	g, err := gen.RMAT(scale, m, gen.GTgraphDefaults, seed)
 	if err == nil {
+		reportConstruction(fmt.Sprintf("rmat scale=%d", scale), g, time.Since(start))
 		graphCache[key] = g
 	}
 	return g, err

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
 )
 
@@ -47,8 +48,13 @@ func main() {
 		breakdown = flag.Bool("breakdown", false, "run one traced BFS and print its per-level phase breakdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
 		outPath   = flag.String("o", "", "write output to this file instead of stdout")
+		buildPar  = flag.Int("build-threads", 0, "CSR construction worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *buildPar > 0 {
+		graph.SetBuildParallelism(*buildPar)
+	}
 
 	cfg := harnessConfig{
 		Mode:  *mode,

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"mcbfs/internal/core"
+	"mcbfs/internal/graph"
 	"mcbfs/internal/graph500"
 	"mcbfs/internal/stats"
 )
@@ -28,6 +29,12 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-root TEPS")
 	)
 	flag.Parse()
+
+	// Construction uses the same worker budget as the search: the
+	// parallel counting-sort CSR builder honours this knob.
+	if *threads > 0 {
+		graph.SetBuildParallelism(*threads)
+	}
 
 	spec := graph500.Spec{
 		Scale:          *scale,
@@ -45,6 +52,9 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("graph: %d vertices, %d directed edge slots, mean reach %.0f vertices/root\n",
 		res.Vertices, res.Edges, res.MeanReached)
+	fmt.Printf("construction: %v total = generate %v + build csr %v (%s edge slots/s, %d-way build)\n",
+		res.ConstructionTime, res.GenerationTime, res.BuildTime,
+		stats.FormatCount(int64(res.ConstructionEPS())), graph.BuildParallelism())
 	if *verbose {
 		for i, teps := range res.TEPS {
 			fmt.Printf("  root %2d: %s\n", i, stats.FormatRate(teps))

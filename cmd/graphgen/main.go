@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mcbfs/internal/gen"
 	"mcbfs/internal/graph"
@@ -24,23 +25,24 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("kind", "uniform", "uniform | rmat | ssca2 | grid")
-		n      = flag.Int("n", 1<<20, "vertex count (uniform, ssca2)")
-		degree = flag.Int("degree", 8, "out-degree per vertex (uniform)")
-		scale  = flag.Int("scale", 20, "log2 vertex count (rmat)")
-		edges  = flag.Int64("edges", 1<<23, "edge count (rmat)")
-		a      = flag.Float64("a", gen.GTgraphDefaults.A, "R-MAT parameter a")
-		b      = flag.Float64("b", gen.GTgraphDefaults.B, "R-MAT parameter b")
-		c      = flag.Float64("c", gen.GTgraphDefaults.C, "R-MAT parameter c")
-		d      = flag.Float64("d", gen.GTgraphDefaults.D, "R-MAT parameter d")
-		clique = flag.Int("clique", 8, "max clique size (ssca2)")
-		inter  = flag.Float64("inter", 0.2, "inter-clique edge fraction (ssca2)")
-		rows   = flag.Int("rows", 1024, "grid rows")
-		cols   = flag.Int("cols", 1024, "grid cols")
-		conn   = flag.Int("conn", 4, "grid connectivity (4 or 8)")
-		seed   = flag.Uint64("seed", 42, "generator seed")
-		out    = flag.String("o", "", "output file (required)")
-		show   = flag.Bool("stats", false, "print degree statistics")
+		kind    = flag.String("kind", "uniform", "uniform | rmat | ssca2 | grid")
+		n       = flag.Int("n", 1<<20, "vertex count (uniform, ssca2)")
+		degree  = flag.Int("degree", 8, "out-degree per vertex (uniform)")
+		scale   = flag.Int("scale", 20, "log2 vertex count (rmat)")
+		edges   = flag.Int64("edges", 1<<23, "edge count (rmat)")
+		a       = flag.Float64("a", gen.GTgraphDefaults.A, "R-MAT parameter a")
+		b       = flag.Float64("b", gen.GTgraphDefaults.B, "R-MAT parameter b")
+		c       = flag.Float64("c", gen.GTgraphDefaults.C, "R-MAT parameter c")
+		d       = flag.Float64("d", gen.GTgraphDefaults.D, "R-MAT parameter d")
+		clique  = flag.Int("clique", 8, "max clique size (ssca2)")
+		inter   = flag.Float64("inter", 0.2, "inter-clique edge fraction (ssca2)")
+		rows    = flag.Int("rows", 1024, "grid rows")
+		cols    = flag.Int("cols", 1024, "grid cols")
+		conn    = flag.Int("conn", 4, "grid connectivity (4 or 8)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		out     = flag.String("o", "", "output file (required)")
+		show    = flag.Bool("stats", false, "print degree statistics")
+		threads = flag.Int("threads", 0, "CSR construction worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -49,11 +51,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *threads > 0 {
+		graph.SetBuildParallelism(*threads)
+	}
 
 	var (
 		g   *graph.Graph
 		err error
 	)
+	start := time.Now()
 	switch *kind {
 	case "uniform":
 		g, err = gen.Uniform(*n, *degree, *seed)
@@ -71,7 +77,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}
+	construction := time.Since(start)
 
+	saveStart := time.Now()
 	if err := g.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
@@ -79,6 +87,13 @@ func main() {
 	fmt.Printf("wrote %s: %s vertices, %s edges, %s on disk\n",
 		*out, stats.FormatCount(int64(g.NumVertices())), stats.FormatCount(g.NumEdges()),
 		stats.FormatCount(g.MemoryFootprint()))
+	rate := 0.0
+	if s := construction.Seconds(); s > 0 {
+		rate = float64(g.NumEdges()) / s
+	}
+	fmt.Printf("construction: %v (%s edges/s, %d-way build), save: %v\n",
+		construction.Round(time.Millisecond), stats.FormatCount(int64(rate)),
+		graph.BuildParallelism(), time.Since(saveStart).Round(time.Millisecond))
 
 	if *show {
 		s := g.ComputeStats()

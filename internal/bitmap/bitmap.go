@@ -156,6 +156,22 @@ func (a *Atomic) Set(i int) {
 	}
 }
 
+// Clear atomically clears bit i. Like Set it short-circuits without a
+// write when the bit is already clear.
+func (a *Atomic) Clear(i int) {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			return
+		}
+	}
+}
+
 // Reset clears every bit. It must not race with other methods; callers
 // reset between BFS runs, not during one.
 func (a *Atomic) Reset() {

@@ -146,6 +146,56 @@ func TestAtomicTestAndSet(t *testing.T) {
 	}
 }
 
+func TestAtomicClear(t *testing.T) {
+	a := NewAtomic(100)
+	a.Clear(7) // clearing a clear bit is a no-op
+	if a.Get(7) {
+		t.Error("bit set after Clear on clear bit")
+	}
+	a.Set(7)
+	a.Set(8) // same word
+	a.Clear(7)
+	if a.Get(7) {
+		t.Error("bit still set after Clear")
+	}
+	if !a.Get(8) {
+		t.Error("Clear disturbed a neighbouring bit")
+	}
+}
+
+// TestAtomicConcurrentSetClear drives Set and Clear on distinct bits of
+// shared words from many goroutines — the hybrid BFS frontier
+// build/clear pattern, where an index-partitioned frontier slice lands
+// arbitrary vertices on the same word.
+func TestAtomicConcurrentSetClear(t *testing.T) {
+	const goroutines = 8
+	const bits = 512
+	a := NewAtomic(bits)
+	for i := 0; i < bits; i += 2 {
+		a.Set(i) // even bits pre-set, cleared below; odd bits set below
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < bits; i += goroutines {
+				if i%2 == 0 {
+					a.Clear(i)
+				} else {
+					a.Set(i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < bits; i++ {
+		if want := i%2 == 1; a.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, a.Get(i), want)
+		}
+	}
+}
+
 func TestAtomicReset(t *testing.T) {
 	a := NewAtomic(256)
 	for i := 0; i < 256; i += 7 {

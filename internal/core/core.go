@@ -262,6 +262,9 @@ func BFS(g *graph.Graph, root graph.Vertex, opt Options) (*Result, error) {
 	case AlgDirectionOptimizing:
 		gt := o.Transpose
 		if gt == nil {
+			// The parallel counting-sort builder makes this per-call
+			// transpose cheap, but callers running many searches over
+			// one graph should still precompute Options.Transpose.
 			gt = g.Transpose()
 		} else if gt.NumVertices() != n || gt.NumEdges() != g.NumEdges() {
 			return nil, errors.New("core: Options.Transpose does not match the graph")

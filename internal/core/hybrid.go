@@ -48,7 +48,11 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 	n := g.NumVertices()
 	parents := newParents(n)
 	visited := bitmap.NewAtomic(n)
-	frontier := bitmap.New(n) // written only in the conversion phase, range-partitioned
+	// The frontier bitmap is built and cleared by index-partitioning the
+	// CQ slice across workers — O(frontier/P) per worker — so two
+	// workers can touch the same word; the atomic bitmap's word-OR
+	// Set/Clear make that safe.
+	frontier := bitmap.NewAtomic(n)
 	cq := queue.NewChunkQueue(n)
 	nq := queue.NewChunkQueue(n)
 
@@ -69,11 +73,11 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 	visited.Set(int(root))
 	cq.Push(uint32(root))
 
-	// Range partition for the bottom-up pass and frontier-bitmap
-	// maintenance: worker w owns [lo(w), hi(w)). Boundaries are aligned
-	// to 64-vertex words because the frontier bitmap is mutated with
-	// plain read-modify-write operations; a word shared by two workers
-	// would lose updates.
+	// Range partition for the bottom-up pass: worker w owns
+	// [lo(w), hi(w)), so each unvisited vertex is examined by exactly
+	// one worker and claims itself with plain writes. Boundaries stay
+	// aligned to 64-vertex words so a worker's visited/parent updates
+	// never share a cache word's vertices with a neighbour's range.
 	words := (n + 63) / 64
 	lo := func(w int) int { return words * w / workers * 64 }
 	hi := func(w int) int {
@@ -104,15 +108,19 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 			for {
 				var stats LevelStats
 				if bottomUp.Load() {
-					// Build the frontier bitmap: each worker sets the bits
-					// of its own vertex range from the shared CQ contents.
+					// Build the frontier bitmap from an index partition of
+					// the shared CQ: worker w sets the bits of its slice
+					// chunk, O(frontier/P) rather than every worker
+					// filter-scanning the whole frontier (O(frontier*P)
+					// total). Chunks hold arbitrary vertices, so bits are
+					// set with the atomic bitmap's word-OR.
 					tp := wr.PhaseStart()
 					frontierVerts := cq.Slice()
+					flo := len(frontierVerts) * w / workers
+					fhi := len(frontierVerts) * (w + 1) / workers
 					myLo, myHi := lo(w), hi(w)
-					for _, v := range frontierVerts {
-						if int(v) >= myLo && int(v) < myHi {
-							frontier.Set(int(v))
-						}
+					for _, v := range frontierVerts[flo:fhi] {
+						frontier.Set(int(v))
 					}
 					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
 					tp = wr.PhaseStart()
@@ -152,12 +160,12 @@ func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result,
 					bar.wait()
 					wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
-					// Clear this range's frontier bits for the next level.
+					// Clear this chunk's frontier bits for the next level —
+					// the same index partition and atomic word ops as the
+					// build pass.
 					tp = wr.PhaseStart()
-					for _, v := range frontierVerts {
-						if int(v) >= myLo && int(v) < myHi {
-							frontier.Clear(int(v))
-						}
+					for _, v := range frontierVerts[flo:fhi] {
+						frontier.Clear(int(v))
 					}
 					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
 				} else {

@@ -153,6 +153,24 @@ func TestDirectionOptimizingManyThreadsSmallGraph(t *testing.T) {
 	}
 }
 
+// TestDirectionOptimizingFrontierPartition stresses the index-
+// partitioned frontier build/clear: thread counts that do not divide
+// the frontier evenly, and a hub whose discovery floods one level's CQ
+// with vertices from every range, so the worker that sets a frontier
+// bit is routinely not the worker that owns that vertex's range.
+func TestDirectionOptimizingFrontierPartition(t *testing.T) {
+	g := must(gen.RMAT(11, 1<<14, gen.Graph500Params, 9)).Undirected()
+	ref := run(t, g, 2, Options{Algorithm: AlgSequential})
+	for _, threads := range []int{2, 3, 5, 7, 11, 16} {
+		res := run(t, g, 2, Options{Algorithm: AlgDirectionOptimizing, Threads: threads})
+		validate(t, g, res)
+		if res.Reached != ref.Reached || res.Levels != ref.Levels {
+			t.Errorf("t%d: Reached/Levels = %d/%d, want %d/%d",
+				threads, res.Reached, res.Levels, ref.Reached, ref.Levels)
+		}
+	}
+}
+
 func TestDirectionOptimizingString(t *testing.T) {
 	if AlgDirectionOptimizing.String() != "direction-optimizing" {
 		t.Errorf("String = %q", AlgDirectionOptimizing.String())

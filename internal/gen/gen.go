@@ -271,24 +271,11 @@ func BinaryTree(depth int) (*graph.Graph, error) {
 	return graph.FromAdjacency(adj)
 }
 
-// fromArrays builds a CSR graph from parallel source/target arrays using
-// a counting sort, avoiding the []Edge intermediate for large m.
+// fromArrays builds a CSR graph from parallel source/target arrays
+// using graph.FromArrays — the shared (and, for large m, parallel)
+// counting-sort kernel — avoiding the []Edge intermediate.
 func fromArrays(n int, srcs, dsts []graph.Vertex) (*graph.Graph, error) {
-	offsets := make([]int64, n+1)
-	for _, s := range srcs {
-		offsets[s+1]++
-	}
-	for v := 0; v < n; v++ {
-		offsets[v+1] += offsets[v]
-	}
-	targets := make([]graph.Vertex, len(dsts))
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
-	for i, s := range srcs {
-		targets[cursor[s]] = dsts[i]
-		cursor[s]++
-	}
-	return graph.FromCSR(offsets, targets)
+	return graph.FromArrays(n, srcs, dsts)
 }
 
 // genShards is the fixed number of work shards used by the parallel

@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Edge is a directed edge from Src to Dst.
@@ -11,19 +12,45 @@ type Edge struct {
 }
 
 // FromEdges builds a CSR graph with n vertices from an arbitrary edge
-// list. Edges are grouped by source using a counting sort (O(n+m), no
-// comparison sort), preserving duplicate edges; the paper's generators
-// may emit multi-edges and the BFS must tolerate them. It returns an
-// error if n is out of range or an endpoint exceeds n.
+// list. Edges are grouped by source using a stable counting sort
+// (O(n+m), no comparison sort), preserving duplicate edges; the paper's
+// generators may emit multi-edges and the BFS must tolerate them. Large
+// inputs run the parallel kernel (see SetBuildParallelism); the result
+// is byte-identical either way. It returns an error if n is out of
+// range or an endpoint exceeds n.
 func FromEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 || n > MaxVertices {
 		return nil, fmt.Errorf("graph: vertex count %d out of range [0,%d]", n, MaxVertices)
 	}
-	for i, e := range edges {
-		if int(e.Src) >= n || int(e.Dst) >= n {
-			return nil, fmt.Errorf("graph: edge %d (%d->%d) exceeds vertex count %d", i, e.Src, e.Dst, n)
-		}
+	shards := buildShards(n, int64(len(edges)))
+	if i, ok := checkEdgeBounds(n, edges, shards); !ok {
+		e := edges[i]
+		return nil, fmt.Errorf("graph: edge %d (%d->%d) exceeds vertex count %d", i, e.Src, e.Dst, n)
 	}
+	if shards == 1 {
+		return fromEdgesSerial(n, edges), nil
+	}
+	offsets, targets := parallelCSR(n, int64(len(edges)), shards, 1,
+		func(_ int, lo, hi int64, deg []int32) {
+			for _, e := range edges[lo:hi] {
+				deg[e.Src]++
+			}
+		},
+		func(_ int, lo, hi int64, cur []int32, out []Vertex) {
+			for _, e := range edges[lo:hi] {
+				p := cur[e.Src]
+				cur[e.Src] = p + 1
+				out[p] = e.Dst
+			}
+		})
+	return &Graph{offsets: offsets, targets: targets}, nil
+}
+
+// fromEdgesSerial is the serial reference counting sort. The offsets
+// array doubles as the scatter cursor (each bucket's start is bumped
+// as it fills, leaving offsets shifted one bucket left), then one
+// overlapping copy restores it — no separate cursor allocation.
+func fromEdgesSerial(n int, edges []Edge) *Graph {
 	offsets := make([]int64, n+1)
 	for _, e := range edges {
 		offsets[e.Src+1]++
@@ -32,13 +59,74 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		offsets[v+1] += offsets[v]
 	}
 	targets := make([]Vertex, len(edges))
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
 	for _, e := range edges {
-		targets[cursor[e.Src]] = e.Dst
-		cursor[e.Src]++
+		p := offsets[e.Src]
+		offsets[e.Src] = p + 1
+		targets[p] = e.Dst
 	}
+	restoreOffsets(offsets, n)
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+// restoreOffsets undoes the offsets-as-cursor trick: after a scatter
+// that advanced each bucket's slot, offsets[v] holds the original
+// offsets[v+1]; shift right and re-seat offsets[0].
+func restoreOffsets(offsets []int64, n int) {
+	copy(offsets[1:], offsets[:n])
+	offsets[0] = 0
+}
+
+// FromArrays builds a CSR graph with n vertices from parallel
+// source/target arrays (edge i is srcs[i] -> dsts[i]), avoiding the
+// []Edge intermediate for large m. Generators use this path. The edge
+// order semantics match FromEdges.
+func FromArrays(n int, srcs, dsts []Vertex) (*Graph, error) {
+	if n < 0 || n > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d out of range [0,%d]", n, MaxVertices)
+	}
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("graph: source count %d != target count %d", len(srcs), len(dsts))
+	}
+	shards := buildShards(n, int64(len(srcs)))
+	if i, ok := checkArrayBounds(n, srcs, dsts, shards); !ok {
+		return nil, fmt.Errorf("graph: edge %d (%d->%d) exceeds vertex count %d", i, srcs[i], dsts[i], n)
+	}
+	if shards == 1 {
+		return fromArraysSerial(n, srcs, dsts), nil
+	}
+	offsets, targets := parallelCSR(n, int64(len(srcs)), shards, 1,
+		func(_ int, lo, hi int64, deg []int32) {
+			for _, s := range srcs[lo:hi] {
+				deg[s]++
+			}
+		},
+		func(_ int, lo, hi int64, cur []int32, out []Vertex) {
+			for i := lo; i < hi; i++ {
+				s := srcs[i]
+				p := cur[s]
+				cur[s] = p + 1
+				out[p] = dsts[i]
+			}
+		})
 	return &Graph{offsets: offsets, targets: targets}, nil
+}
+
+func fromArraysSerial(n int, srcs, dsts []Vertex) *Graph {
+	offsets := make([]int64, n+1)
+	for _, s := range srcs {
+		offsets[s+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]Vertex, len(dsts))
+	for i, s := range srcs {
+		p := offsets[s]
+		offsets[s] = p + 1
+		targets[p] = dsts[i]
+	}
+	restoreOffsets(offsets, n)
+	return &Graph{offsets: offsets, targets: targets}
 }
 
 // FromAdjacency builds a graph from explicit adjacency lists. It is a
@@ -64,8 +152,7 @@ func FromAdjacency(adj [][]Vertex) (*Graph, error) {
 
 // FromCSR wraps pre-built CSR arrays in a Graph without copying. The
 // arrays must satisfy the invariants checked by Validate; FromCSR
-// verifies them and returns an error otherwise. Generators use this path
-// to avoid materializing an intermediate edge list.
+// verifies them and returns an error otherwise.
 func FromCSR(offsets []int64, targets []Vertex) (*Graph, error) {
 	g := &Graph{offsets: offsets, targets: targets}
 	if err := g.Validate(); err != nil {
@@ -74,63 +161,220 @@ func FromCSR(offsets []int64, targets []Vertex) (*Graph, error) {
 	return g, nil
 }
 
+// Transpose returns the graph with every edge reversed. For an
+// undirected graph (every edge paired with its reverse) the transpose
+// equals the original up to adjacency ordering. Large graphs transpose
+// in parallel (see SetBuildParallelism) with output byte-identical to
+// the serial path.
+func (g *Graph) Transpose() *Graph {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	shards := buildShards(n, m)
+	if shards == 1 {
+		return g.transposeSerial()
+	}
+	offsets, targets := parallelCSR(n, m, shards, 1,
+		func(_ int, lo, hi int64, deg []int32) {
+			for _, t := range g.targets[lo:hi] {
+				deg[t]++
+			}
+		},
+		func(_ int, lo, hi int64, cur []int32, out []Vertex) {
+			u := g.vertexAt(lo)
+			for i := lo; i < hi; i++ {
+				for g.offsets[u+1] <= i {
+					u++
+				}
+				t := g.targets[i]
+				p := cur[t]
+				cur[t] = p + 1
+				out[p] = Vertex(u)
+			}
+		})
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+func (g *Graph) transposeSerial() *Graph {
+	n := g.NumVertices()
+	offsets := make([]int64, n+1)
+	for _, t := range g.targets {
+		offsets[t+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]Vertex, len(g.targets))
+	for u := 0; u < n; u++ {
+		for _, t := range g.targets[g.offsets[u]:g.offsets[u+1]] {
+			p := offsets[t]
+			offsets[t] = p + 1
+			targets[p] = Vertex(u)
+		}
+	}
+	restoreOffsets(offsets, n)
+	return &Graph{offsets: offsets, targets: targets}
+}
+
 // Undirected returns a graph in which every edge of g is paired with its
 // reverse. Duplicate pairs are not removed: if g already contains both
 // directions of an edge, the result contains both twice. Use
 // Deduplicate afterwards if a simple graph is needed.
 func (g *Graph) Undirected() *Graph {
 	n := g.NumVertices()
-	deg := make([]int64, n+1)
+	m2 := 2 * g.NumEdges()
+	shards := buildShards(n, m2)
+	if shards == 1 {
+		return g.undirectedSerial()
+	}
+	// The virtual edge sequence has 2m entries: entry 2j is edge j
+	// forward (u->v), entry 2j+1 its reverse (v->u), matching the
+	// serial interleaving exactly. Shard boundaries are aligned to 2 so
+	// every shard owns whole pairs.
+	offsets, targets := parallelCSR(n, m2, shards, 2,
+		func(_ int, lo, hi int64, deg []int32) {
+			u := g.vertexAt(lo / 2)
+			for j := lo / 2; j < hi/2; j++ {
+				for g.offsets[u+1] <= j {
+					u++
+				}
+				deg[u]++
+				deg[g.targets[j]]++
+			}
+		},
+		func(_ int, lo, hi int64, cur []int32, out []Vertex) {
+			u := g.vertexAt(lo / 2)
+			for j := lo / 2; j < hi/2; j++ {
+				for g.offsets[u+1] <= j {
+					u++
+				}
+				v := g.targets[j]
+				p := cur[u]
+				cur[u] = p + 1
+				out[p] = v
+				q := cur[v]
+				cur[v] = q + 1
+				out[q] = Vertex(u)
+			}
+		})
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+func (g *Graph) undirectedSerial() *Graph {
+	n := g.NumVertices()
+	offsets := make([]int64, n+1)
 	for u := 0; u < n; u++ {
 		for _, v := range g.Neighbors(Vertex(u)) {
-			deg[u+1]++
-			deg[v+1]++
+			offsets[u+1]++
+			offsets[v+1]++
 		}
 	}
-	offsets := make([]int64, n+1)
 	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + deg[v+1]
+		offsets[v+1] += offsets[v]
 	}
 	targets := make([]Vertex, offsets[n])
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
 	for u := 0; u < n; u++ {
 		for _, v := range g.Neighbors(Vertex(u)) {
-			targets[cursor[u]] = v
-			cursor[u]++
-			targets[cursor[v]] = Vertex(u)
-			cursor[v]++
+			p := offsets[u]
+			offsets[u] = p + 1
+			targets[p] = v
+			q := offsets[v]
+			offsets[v] = q + 1
+			targets[q] = Vertex(u)
 		}
 	}
+	restoreOffsets(offsets, n)
 	return &Graph{offsets: offsets, targets: targets}
 }
 
 // Deduplicate returns a copy of g with each adjacency list sorted and
-// duplicate edges and self-loops removed.
+// duplicate edges and self-loops removed. Vertex ranges (balanced by
+// edge count) are processed in parallel for large graphs; the output is
+// the canonical sorted simple graph either way.
 func (g *Graph) Deduplicate() *Graph {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	shards := buildShards(n, m)
+	if shards == 1 {
+		return g.deduplicateSerial()
+	}
+	// Edge-balanced contiguous vertex ranges: range r starts at the
+	// vertex owning edge m*r/S, so a hub-heavy prefix does not serialize
+	// the sort work.
+	bounds := make([]int, shards+1)
+	for r := 1; r < shards; r++ {
+		bounds[r] = g.vertexAt(m * int64(r) / int64(shards))
+	}
+	bounds[shards] = n
+	offsets := make([]int64, n+1)
+	bufs := make([][]Vertex, shards)
+	var wg sync.WaitGroup
+	for r := 0; r < shards; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			vlo, vhi := bounds[r], bounds[r+1]
+			buf := make([]Vertex, 0, g.offsets[vhi]-g.offsets[vlo])
+			var scratch []Vertex
+			for u := vlo; u < vhi; u++ {
+				before := len(buf)
+				buf, scratch = appendDeduped(buf, scratch, Vertex(u), g.Neighbors(Vertex(u)))
+				offsets[u+1] = int64(len(buf) - before) // degree; prefixed below
+			}
+			bufs[r] = buf
+		}(r)
+	}
+	wg.Wait()
+	bases := make([]int64, shards+1)
+	for r := 0; r < shards; r++ {
+		bases[r+1] = bases[r] + int64(len(bufs[r]))
+	}
+	targets := make([]Vertex, bases[shards])
+	for r := 0; r < shards; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			copy(targets[bases[r]:], bufs[r])
+			running := bases[r]
+			for u := bounds[r]; u < bounds[r+1]; u++ {
+				running += offsets[u+1]
+				offsets[u+1] = running
+			}
+		}(r)
+	}
+	wg.Wait()
+	return &Graph{offsets: offsets, targets: targets}
+}
+
+func (g *Graph) deduplicateSerial() *Graph {
 	n := g.NumVertices()
 	offsets := make([]int64, n+1)
 	targets := make([]Vertex, 0, len(g.targets))
 	var scratch []Vertex
 	for u := 0; u < n; u++ {
-		nbrs := g.Neighbors(Vertex(u))
-		scratch = append(scratch[:0], nbrs...)
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-		var prev Vertex
-		first := true
-		for _, v := range scratch {
-			if v == Vertex(u) {
-				continue // self-loop
-			}
-			if !first && v == prev {
-				continue // duplicate
-			}
-			targets = append(targets, v)
-			prev, first = v, false
-		}
+		targets, scratch = appendDeduped(targets, scratch, Vertex(u), g.Neighbors(Vertex(u)))
 		offsets[u+1] = int64(len(targets))
 	}
 	return &Graph{offsets: offsets, targets: targets}
+}
+
+// appendDeduped appends u's neighbours to dst sorted, with duplicates
+// and the self-loop removed, reusing scratch for the sort.
+func appendDeduped(dst, scratch []Vertex, u Vertex, nbrs []Vertex) ([]Vertex, []Vertex) {
+	scratch = append(scratch[:0], nbrs...)
+	slices.Sort(scratch)
+	var prev Vertex
+	first := true
+	for _, v := range scratch {
+		if v == u {
+			continue // self-loop
+		}
+		if !first && v == prev {
+			continue // duplicate
+		}
+		dst = append(dst, v)
+		prev, first = v, false
+	}
+	return dst, scratch
 }
 
 // Relabel returns a copy of g with vertex v renamed to perm[v]. perm
@@ -149,13 +393,57 @@ func (g *Graph) Relabel(perm []Vertex) (*Graph, error) {
 		}
 		seen[p] = true
 	}
-	deg := make([]int64, n+1)
-	for u := 0; u < n; u++ {
-		deg[perm[u]+1] = int64(g.Degree(Vertex(u)))
+	m := g.NumEdges()
+	shards := buildShards(n, m)
+	if shards == 1 {
+		return g.relabelSerial(perm), nil
 	}
+	offsets, targets := parallelCSR(n, m, shards, 1,
+		func(_ int, lo, hi int64, deg []int32) {
+			if lo >= hi {
+				return
+			}
+			u := g.vertexAt(lo)
+			pu := perm[u]
+			for i := lo; i < hi; i++ {
+				if g.offsets[u+1] <= i {
+					for g.offsets[u+1] <= i {
+						u++
+					}
+					pu = perm[u]
+				}
+				deg[pu]++
+			}
+		},
+		func(_ int, lo, hi int64, cur []int32, out []Vertex) {
+			if lo >= hi {
+				return
+			}
+			u := g.vertexAt(lo)
+			pu := perm[u]
+			for i := lo; i < hi; i++ {
+				if g.offsets[u+1] <= i {
+					for g.offsets[u+1] <= i {
+						u++
+					}
+					pu = perm[u]
+				}
+				p := cur[pu]
+				cur[pu] = p + 1
+				out[p] = perm[g.targets[i]]
+			}
+		})
+	return &Graph{offsets: offsets, targets: targets}, nil
+}
+
+func (g *Graph) relabelSerial(perm []Vertex) *Graph {
+	n := g.NumVertices()
 	offsets := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		offsets[perm[u]+1] = int64(g.Degree(Vertex(u)))
+	}
 	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + deg[v+1]
+		offsets[v+1] += offsets[v]
 	}
 	targets := make([]Vertex, len(g.targets))
 	for u := 0; u < n; u++ {
@@ -165,5 +453,5 @@ func (g *Graph) Relabel(perm []Vertex) (*Graph, error) {
 			pos++
 		}
 	}
-	return &Graph{offsets: offsets, targets: targets}, nil
+	return &Graph{offsets: offsets, targets: targets}
 }

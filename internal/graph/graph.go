@@ -109,32 +109,6 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Transpose returns the graph with every edge reversed. For an
-// undirected graph (every edge paired with its reverse) the transpose
-// equals the original up to adjacency ordering.
-func (g *Graph) Transpose() *Graph {
-	n := g.NumVertices()
-	m := len(g.targets)
-	inDeg := make([]int64, n+1)
-	for _, t := range g.targets {
-		inDeg[t+1]++
-	}
-	offsets := make([]int64, n+1)
-	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + inDeg[v+1]
-	}
-	targets := make([]Vertex, m)
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
-	for u := 0; u < n; u++ {
-		for _, t := range g.targets[g.offsets[u]:g.offsets[u+1]] {
-			targets[cursor[t]] = Vertex(u)
-			cursor[t]++
-		}
-	}
-	return &Graph{offsets: offsets, targets: targets}
-}
-
 // Stats summarizes the degree distribution of a graph. The paper's two
 // workload families differ exactly here: uniform graphs have a tight
 // binomial degree distribution while R-MAT graphs have a few very high

@@ -466,21 +466,6 @@ func sameGraph(a, b *Graph) bool {
 	return true
 }
 
-func BenchmarkFromEdges(b *testing.B) {
-	r := rng.New(1)
-	const n, m = 1 << 16, 1 << 19
-	edges := make([]Edge, m)
-	for i := range edges {
-		edges[i] = Edge{Vertex(r.Intn(n)), Vertex(r.Intn(n))}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := FromEdges(n, edges); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkNeighborScan(b *testing.B) {
 	r := rng.New(2)
 	const n, m = 1 << 16, 1 << 20

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel CSR construction.
+//
+// Every structural kernel in this package (FromEdges, FromArrays,
+// Transpose, Undirected, Relabel) is a stable counting sort of an edge
+// sequence by source vertex. The serial version walks the sequence
+// three times: histogram, prefix sum, scatter. At R-MAT scale >= 20 the
+// walk is memory-bound and single-threaded construction dwarfs the
+// parallel search it feeds, so the counting sort itself is
+// parallelized here, once, and every builder is expressed on top of it.
+//
+// The decomposition mirrors the level-synchronous BFS it serves: shard
+// the edge sequence, give every shard private state, and synchronize
+// only at phase boundaries.
+//
+//  1. Histogram: shard s walks edge range [lo(s), hi(s)) and counts
+//     per-source degrees into its private row of an S x n count matrix.
+//     No shared writes.
+//  2. Prefix sum: vertices are range-partitioned across workers. A
+//     two-pass scan (per-range totals, serial prefix over the S range
+//     totals, then per-range sweep) turns the count matrix in place
+//     into per-shard scatter cursors and fills the global offsets
+//     array. cursor[s][v] = offsets[v] + sum over t<s of count[t][v],
+//     so shard s's slots within v's bucket start exactly where shard
+//     s-1's end.
+//  3. Scatter: shard s re-walks its edge range in order and places each
+//     edge at cursor[s][src]++. Every (shard, vertex) cursor range is
+//     disjoint by construction, so the steady state needs no atomic
+//     operations at all — each slot of the adjacency array is written
+//     by exactly one shard — and, because shards scatter their edges in
+//     input order into consecutive slots, the result is byte-identical
+//     to the serial stable counting sort for any shard count.
+//
+// Cursors are int32 (the matrix is the transient cost of the kernel:
+// 4*S*n bytes), which bounds the parallel path to m < 2^31 edges;
+// larger graphs — beyond this library's uint32 vertex ids' practical
+// memory range anyway — fall back to the serial builder.
+
+// serialBuildThreshold is the edge count below which the serial builder
+// runs even when parallelism is available: under ~32 K edges the
+// histogram+scatter walks complete in tens of microseconds, comparable
+// to spawning the worker goroutines (measured crossover on a modern
+// x86 core is 10-50 K edges; see EXPERIMENTS.md). A var, not a const,
+// so tests can force the parallel path on tiny inputs.
+var serialBuildThreshold int64 = 1 << 15
+
+// maxBuildShards caps the shard count. Construction is memory-bandwidth
+// bound, which saturates well before high core counts, and the cursor
+// matrix costs 4*S*n bytes, so oversharding buys nothing.
+const maxBuildShards = 64
+
+// buildParallelism holds the configured worker count; 0 means
+// runtime.GOMAXPROCS(0).
+var buildParallelism atomic.Int32
+
+// SetBuildParallelism sets the number of workers used by the parallel
+// CSR construction kernels (FromEdges, FromArrays, Transpose,
+// Undirected, Relabel, Deduplicate). p <= 0 restores the default,
+// runtime.GOMAXPROCS(0) at the time of each build. p == 1 forces the
+// serial reference builder. Safe to call concurrently with builds;
+// builds in flight keep the value they started with.
+func SetBuildParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	if p > maxBuildShards {
+		p = maxBuildShards
+	}
+	buildParallelism.Store(int32(p))
+}
+
+// BuildParallelism returns the effective construction worker count.
+func BuildParallelism() int {
+	if p := int(buildParallelism.Load()); p > 0 {
+		return p
+	}
+	p := runtime.GOMAXPROCS(0)
+	if p > maxBuildShards {
+		p = maxBuildShards
+	}
+	return p
+}
+
+// buildShards returns the shard count for a parallel build of m edges
+// over n vertices, or 1 when the serial path should run: tiny inputs
+// (below the goroutine-spawn crossover), single-threaded configuration,
+// edge counts beyond the int32 cursor range, and graphs so sparse that
+// the 4*S*n-byte cursor matrix would dwarf the 4*m-byte adjacency
+// array (each shard must be worth its n-sized matrix row).
+func buildShards(n int, m int64) int {
+	p := int64(BuildParallelism())
+	if p <= 1 || m < serialBuildThreshold || m >= math.MaxInt32 || n == 0 {
+		return 1
+	}
+	if limit := 2 * m / int64(n); p > limit {
+		p = limit
+	}
+	if p <= 1 {
+		return 1
+	}
+	return int(p)
+}
+
+// parallelCSR runs the three-phase kernel. The edge sequence is
+// abstract: count must increment deg[src] once per edge in [lo, hi),
+// and scatter must place each edge of [lo, hi) in order via
+// pos := cur[src]; cur[src] = pos + 1; out[pos] = dst. Both closures
+// are handed whole shard ranges so the per-edge work stays in the
+// caller's (inlinable) loop. align forces shard boundaries to
+// multiples of the given stride, for edge sequences whose entries come
+// in indivisible groups (Undirected emits two per underlying edge).
+func parallelCSR(n int, m int64, shards int, align int64,
+	count func(shard int, lo, hi int64, deg []int32),
+	scatter func(shard int, lo, hi int64, cur []int32, out []Vertex),
+) ([]int64, []Vertex) {
+	offsets := make([]int64, n+1)
+	out := make([]Vertex, m)
+	matrix := make([]int32, int64(shards)*int64(n))
+	row := func(s int) []int32 {
+		return matrix[int64(s)*int64(n) : int64(s+1)*int64(n)]
+	}
+	edgeLo := func(s int) int64 {
+		if s >= shards {
+			return m
+		}
+		return m * int64(s) / int64(shards) / align * align
+	}
+
+	// Phase 1: private histograms.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			count(s, edgeLo(s), edgeLo(s+1), row(s))
+		}(s)
+	}
+	wg.Wait()
+
+	// Phase 2: two-pass prefix sum over vertex ranges. Worker r owns
+	// vertices [n*r/S, n*(r+1)/S); pass one totals its range across all
+	// shard rows, a serial scan of the S totals sets each range's base,
+	// and pass two sweeps the range again, recording bucket starts in
+	// offsets and rewriting each count slot as that shard's first
+	// scatter position.
+	totals := make([]int64, shards+1)
+	vertLo := func(r int) int { return n * r / shards }
+	for r := 0; r < shards; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			vlo, vhi := vertLo(r), vertLo(r+1)
+			var t int64
+			for s := 0; s < shards; s++ {
+				rs := row(s)
+				for v := vlo; v < vhi; v++ {
+					t += int64(rs[v])
+				}
+			}
+			totals[r+1] = t
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < shards; r++ {
+		totals[r+1] += totals[r]
+	}
+	for r := 0; r < shards; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			vlo, vhi := vertLo(r), vertLo(r+1)
+			running := totals[r]
+			for v := vlo; v < vhi; v++ {
+				offsets[v] = running
+				for s := 0; s < shards; s++ {
+					i := int64(s)*int64(n) + int64(v)
+					c := matrix[i]
+					matrix[i] = int32(running)
+					running += int64(c)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	offsets[n] = m
+
+	// Phase 3: contention-free scatter into disjoint cursor ranges.
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			scatter(s, edgeLo(s), edgeLo(s+1), row(s), out)
+		}(s)
+	}
+	wg.Wait()
+	return offsets, out
+}
+
+// vertexAt returns the vertex whose adjacency range contains edge
+// index i (the largest u with offsets[u] <= i < offsets[u+1] among
+// non-empty ranges). i must be in [0, NumEdges()).
+func (g *Graph) vertexAt(i int64) int {
+	return sort.Search(g.NumVertices(), func(u int) bool { return g.offsets[u+1] > i })
+}
+
+// parallelRange splits [0, n) into the given number of contiguous
+// chunks and runs fn on each concurrently.
+func parallelRange(n int64, workers int, fn func(worker int, lo, hi int64)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, n*int64(w)/int64(workers), n*int64(w+1)/int64(workers))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// checkEdgeBounds verifies every endpoint is below n, sharding the scan
+// across workers. On failure it reports the lowest offending edge
+// index, matching the serial scan's error exactly.
+func checkEdgeBounds(n int, edges []Edge, workers int) (int64, bool) {
+	m := int64(len(edges))
+	if workers <= 1 {
+		for i, e := range edges {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				return int64(i), false
+			}
+		}
+		return 0, true
+	}
+	firstBad := make([]int64, workers)
+	parallelRange(m, workers, func(w int, lo, hi int64) {
+		firstBad[w] = -1
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				firstBad[w] = i
+				return
+			}
+		}
+	})
+	for _, i := range firstBad {
+		if i >= 0 {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// checkArrayBounds is checkEdgeBounds for parallel src/dst arrays.
+func checkArrayBounds(n int, srcs, dsts []Vertex, workers int) (int64, bool) {
+	m := int64(len(srcs))
+	if workers <= 1 {
+		for i := range srcs {
+			if int(srcs[i]) >= n || int(dsts[i]) >= n {
+				return int64(i), false
+			}
+		}
+		return 0, true
+	}
+	firstBad := make([]int64, workers)
+	parallelRange(m, workers, func(w int, lo, hi int64) {
+		firstBad[w] = -1
+		for i := lo; i < hi; i++ {
+			if int(srcs[i]) >= n || int(dsts[i]) >= n {
+				firstBad[w] = i
+				return
+			}
+		}
+	})
+	for _, i := range firstBad {
+		if i >= 0 {
+			return i, false
+		}
+	}
+	return 0, true
+}

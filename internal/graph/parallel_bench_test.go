@@ -1,0 +1,132 @@
+// Serial-vs-parallel construction benchmarks over an R-MAT workload.
+// This file is an external test package so it can use internal/gen
+// (which imports graph) for the paper's scale-free edge distribution.
+//
+// The "serial" variants pin SetBuildParallelism(1), the reference
+// counting sort; "parallel" restores the default (GOMAXPROCS), so `go
+// test -bench=Construction -cpu=1,2,4,8` sweeps the worker count. The
+// MB/s column reads directly as million edges built per second
+// (SetBytes is the edge count).
+package graph_test
+
+import (
+	"sync"
+	"testing"
+
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/rng"
+)
+
+// benchScale is log2 of the benchmark vertex count: the ISSUE's
+// scale-20 R-MAT (1 M vertices, 16 M directed edges), shrunk under
+// -short so the CI benchmark smoke step stays fast.
+func benchScale(b *testing.B) int {
+	if testing.Short() {
+		return 14
+	}
+	return 20
+}
+
+var benchState struct {
+	sync.Mutex
+	scale int
+	g     *graph.Graph
+	n     int
+	edges []graph.Edge
+}
+
+// benchWorkload generates (once per scale) the R-MAT graph plus a
+// shuffled edge list extracted from it. Shuffling matters: CSR-order
+// input would hand the scatter pass artificial locality that a real
+// generator stream does not have.
+func benchWorkload(b *testing.B) (*graph.Graph, int, []graph.Edge) {
+	b.Helper()
+	benchState.Lock()
+	defer benchState.Unlock()
+	scale := benchScale(b)
+	if benchState.scale != scale {
+		g, err := gen.RMAT(scale, int64(16)<<scale, gen.GTgraphDefaults, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := g.NumVertices()
+		edges := make([]graph.Edge, 0, g.NumEdges())
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(graph.Vertex(u)) {
+				edges = append(edges, graph.Edge{Src: graph.Vertex(u), Dst: v})
+			}
+		}
+		r := rng.New(7)
+		for i := len(edges) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			edges[i], edges[j] = edges[j], edges[i]
+		}
+		benchState.scale, benchState.g, benchState.n, benchState.edges = scale, g, n, edges
+	}
+	return benchState.g, benchState.n, benchState.edges
+}
+
+func benchVariants(b *testing.B, run func(b *testing.B)) {
+	b.Run("serial", func(b *testing.B) {
+		graph.SetBuildParallelism(1)
+		defer graph.SetBuildParallelism(0)
+		run(b)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		graph.SetBuildParallelism(0)
+		run(b)
+	})
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	_, n, edges := benchWorkload(b)
+	benchVariants(b, func(b *testing.B) {
+		b.SetBytes(int64(len(edges)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.FromEdges(n, edges); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	g, _, _ := benchWorkload(b)
+	benchVariants(b, func(b *testing.B) {
+		b.SetBytes(g.NumEdges())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.Transpose() == nil {
+				b.Fatal("nil transpose")
+			}
+		}
+	})
+}
+
+func BenchmarkUndirected(b *testing.B) {
+	g, _, _ := benchWorkload(b)
+	benchVariants(b, func(b *testing.B) {
+		b.SetBytes(2 * g.NumEdges())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.Undirected() == nil {
+				b.Fatal("nil undirected")
+			}
+		}
+	})
+}
+
+func BenchmarkDeduplicate(b *testing.B) {
+	g, _, _ := benchWorkload(b)
+	benchVariants(b, func(b *testing.B) {
+		b.SetBytes(g.NumEdges())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.Deduplicate() == nil {
+				b.Fatal("nil deduplicate")
+			}
+		}
+	})
+}

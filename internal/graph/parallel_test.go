@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"mcbfs/internal/rng"
+)
+
+// forceParallel drops the serial crossover to zero and pins the worker
+// count so even tiny inputs exercise the parallel kernel; the returned
+// func restores the defaults.
+func forceParallel(t testing.TB, workers int) func() {
+	t.Helper()
+	oldThreshold := serialBuildThreshold
+	serialBuildThreshold = 0
+	SetBuildParallelism(workers)
+	return func() {
+		serialBuildThreshold = oldThreshold
+		SetBuildParallelism(0)
+	}
+}
+
+// identical reports whether two graphs have byte-identical CSR arrays
+// (stronger than sameGraph: offsets must match slot for slot, not just
+// per-vertex adjacency).
+func identical(a, b *Graph) bool {
+	if len(a.offsets) != len(b.offsets) || len(a.targets) != len(b.targets) {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.targets {
+		if a.targets[i] != b.targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomEdges returns m edges over n vertices with multi-edges and
+// self-loops: every vertex id stream includes repeats and v==v pairs by
+// construction at these densities.
+func randomEdges(r *rng.Xoshiro256, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: Vertex(r.Intn(n)), Dst: Vertex(r.Intn(n))}
+	}
+	return edges
+}
+
+// randomPerm returns a random permutation of [0, n).
+func randomPerm(r *rng.Xoshiro256, n int) []Vertex {
+	perm := make([]Vertex, n)
+	for i := range perm {
+		perm[i] = Vertex(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// buildCases is the (n, m) sweep used by the equivalence tests: empty
+// graphs, single vertices, zero/one-edge lists, and dense multigraphs.
+var buildCases = []struct{ n, m int }{
+	{0, 0}, {1, 0}, {1, 1}, {1, 8}, {2, 1}, {3, 7},
+	{10, 0}, {10, 1}, {17, 100}, {64, 64}, {100, 1},
+	{257, 4096}, {1000, 10000}, {4096, 3},
+}
+
+func TestParallelFromEdgesMatchesSerial(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 7, 16} {
+		restore := forceParallel(t, workers)
+		r := rng.New(uint64(workers))
+		for _, tc := range buildCases {
+			edges := []Edge(nil)
+			if tc.n > 0 {
+				edges = randomEdges(r, tc.n, tc.m)
+			}
+			got, err := FromEdges(tc.n, edges)
+			if err != nil {
+				t.Fatalf("workers=%d n=%d m=%d: %v", workers, tc.n, tc.m, err)
+			}
+			want := fromEdgesSerial(tc.n, edges)
+			if !identical(got, want) {
+				t.Errorf("workers=%d n=%d m=%d: parallel FromEdges differs from serial", workers, tc.n, tc.m)
+			}
+		}
+		restore()
+	}
+}
+
+func TestParallelFromArraysMatchesSerial(t *testing.T) {
+	restore := forceParallel(t, 5)
+	defer restore()
+	r := rng.New(99)
+	for _, tc := range buildCases {
+		if tc.n == 0 {
+			continue
+		}
+		srcs := make([]Vertex, tc.m)
+		dsts := make([]Vertex, tc.m)
+		for i := range srcs {
+			srcs[i] = Vertex(r.Intn(tc.n))
+			dsts[i] = Vertex(r.Intn(tc.n))
+		}
+		got, err := FromArrays(tc.n, srcs, dsts)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		want := fromArraysSerial(tc.n, srcs, dsts)
+		if !identical(got, want) {
+			t.Errorf("n=%d m=%d: parallel FromArrays differs from serial", tc.n, tc.m)
+		}
+	}
+}
+
+func TestParallelDerivedBuildersMatchSerial(t *testing.T) {
+	for _, workers := range []int{2, 4, 9} {
+		restore := forceParallel(t, workers)
+		r := rng.New(uint64(1000 + workers))
+		for _, tc := range buildCases {
+			if tc.n == 0 {
+				continue
+			}
+			g := fromEdgesSerial(tc.n, randomEdges(r, tc.n, tc.m))
+			label := fmt.Sprintf("workers=%d n=%d m=%d", workers, tc.n, tc.m)
+			if !identical(g.Transpose(), g.transposeSerial()) {
+				t.Errorf("%s: parallel Transpose differs from serial", label)
+			}
+			if !identical(g.Undirected(), g.undirectedSerial()) {
+				t.Errorf("%s: parallel Undirected differs from serial", label)
+			}
+			if !identical(g.Deduplicate(), g.deduplicateSerial()) {
+				t.Errorf("%s: parallel Deduplicate differs from serial", label)
+			}
+			perm := randomPerm(r, tc.n)
+			got, err := g.Relabel(perm)
+			if err != nil {
+				t.Fatalf("%s: Relabel: %v", label, err)
+			}
+			if !identical(got, g.relabelSerial(perm)) {
+				t.Errorf("%s: parallel Relabel differs from serial", label)
+			}
+		}
+		restore()
+	}
+}
+
+func TestParallelBuildIndependentOfWorkerCount(t *testing.T) {
+	r := rng.New(7)
+	edges := randomEdges(r, 500, 20000)
+	var ref *Graph
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		restore := forceParallel(t, workers)
+		g, err := FromEdges(500, edges)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = g
+		} else if !identical(g, ref) {
+			t.Errorf("workers=%d: CSR differs from workers=1 build", workers)
+		}
+	}
+}
+
+func TestParallelFromEdgesReportsFirstBadEdge(t *testing.T) {
+	restore := forceParallel(t, 4)
+	defer restore()
+	edges := randomEdges(rng.New(3), 50, 4000)
+	edges[1234] = Edge{Src: 50, Dst: 0} // first offender
+	edges[3999] = Edge{Src: 0, Dst: 99}
+	_, err := FromEdges(50, edges)
+	if err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+	want := "graph: edge 1234 (50->0) exceeds vertex count 50"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q (lowest offending index, as serial)", err, want)
+	}
+}
+
+func TestFromArraysLengthMismatch(t *testing.T) {
+	if _, err := FromArrays(4, []Vertex{0, 1}, []Vertex{2}); err == nil {
+		t.Fatal("expected error for mismatched array lengths")
+	}
+}
+
+func TestFromArraysValidates(t *testing.T) {
+	g, err := FromArrays(3, []Vertex{0, 2, 2}, []Vertex{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || !g.HasEdge(2, 0) || !g.HasEdge(2, 2) {
+		t.Error("FromArrays built wrong adjacency")
+	}
+	if _, err := FromArrays(3, []Vertex{3}, []Vertex{0}); err == nil {
+		t.Error("expected error for out-of-range source")
+	}
+	if _, err := FromArrays(3, []Vertex{0}, []Vertex{3}); err == nil {
+		t.Error("expected error for out-of-range target")
+	}
+}
+
+func TestBuildParallelismKnob(t *testing.T) {
+	SetBuildParallelism(3)
+	if got := BuildParallelism(); got != 3 {
+		t.Errorf("BuildParallelism() = %d after SetBuildParallelism(3)", got)
+	}
+	SetBuildParallelism(0)
+	if got := BuildParallelism(); got < 1 {
+		t.Errorf("BuildParallelism() = %d with default knob", got)
+	}
+	SetBuildParallelism(-5)
+	if got := BuildParallelism(); got < 1 {
+		t.Errorf("BuildParallelism() = %d after negative set", got)
+	}
+}
+
+func TestBuildShardsCrossover(t *testing.T) {
+	SetBuildParallelism(8)
+	defer SetBuildParallelism(0)
+	if s := buildShards(1000, serialBuildThreshold-1); s != 1 {
+		t.Errorf("below-threshold input got %d shards, want serial", s)
+	}
+	if s := buildShards(1000, serialBuildThreshold); s != 8 {
+		t.Errorf("above-threshold input got %d shards, want 8", s)
+	}
+	// Degenerately sparse graphs (m << n) stay serial: the cursor
+	// matrix would dwarf the adjacency array.
+	if s := buildShards(1<<24, serialBuildThreshold); s != 1 {
+		t.Errorf("sparse input got %d shards, want serial", s)
+	}
+	if s := buildShards(0, 0); s != 1 {
+		t.Errorf("empty graph got %d shards, want serial", s)
+	}
+}
+
+// FuzzParallelFromEdges decodes arbitrary bytes as an edge list and
+// asserts the parallel builder agrees byte-for-byte with the serial
+// reference, across graph derivations.
+func FuzzParallelFromEdges(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 0, 3, 3})
+	f.Add(uint8(1), []byte{0, 0, 0, 0})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(200), []byte{5, 5, 5, 6, 199, 0})
+	f.Fuzz(func(t *testing.T, n uint8, data []byte) {
+		nv := int(n)
+		edges := make([]Edge, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			if nv == 0 {
+				break
+			}
+			edges = append(edges, Edge{Src: Vertex(data[i]) % Vertex(nv), Dst: Vertex(data[i+1]) % Vertex(nv)})
+		}
+		restore := forceParallel(t, 4)
+		defer restore()
+		got, err := FromEdges(nv, edges)
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		want := fromEdgesSerial(nv, edges)
+		if !identical(got, want) {
+			t.Fatal("parallel FromEdges differs from serial reference")
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("parallel build violates CSR invariants: %v", err)
+		}
+		if !identical(got.Transpose(), want.transposeSerial()) {
+			t.Fatal("parallel Transpose differs from serial reference")
+		}
+		if !identical(got.Undirected(), want.undirectedSerial()) {
+			t.Fatal("parallel Undirected differs from serial reference")
+		}
+		if !identical(got.Deduplicate(), want.deduplicateSerial()) {
+			t.Fatal("parallel Deduplicate differs from serial reference")
+		}
+	})
+}

@@ -180,6 +180,24 @@ func NewGraphFromAdjacency(adj [][]Vertex) (*Graph, error) {
 	return graph.FromAdjacency(adj)
 }
 
+// NewGraphFromArrays builds a graph with n vertices from parallel
+// source/target arrays — the natural output shape of edge generators,
+// fed straight to the counting-sort CSR builder without materializing
+// an []Edge.
+func NewGraphFromArrays(n int, srcs, dsts []Vertex) (*Graph, error) {
+	return graph.FromArrays(n, srcs, dsts)
+}
+
+// SetBuildParallelism caps the worker count used by the parallel CSR
+// construction kernels (NewGraph, Transpose, Undirected, Relabel, and
+// the generators). 0 restores the default, GOMAXPROCS; 1 forces the
+// serial builder. Parallel and serial builds produce byte-identical
+// graphs.
+func SetBuildParallelism(p int) { graph.SetBuildParallelism(p) }
+
+// BuildParallelism reports the effective CSR construction worker count.
+func BuildParallelism() int { return graph.BuildParallelism() }
+
 // LoadGraph reads a graph from a file written by (*Graph).Save.
 func LoadGraph(path string) (*Graph, error) {
 	return graph.Load(path)
