@@ -474,6 +474,69 @@ func BenchmarkAblationProbeBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchThroughput measures the amortized-session repeated-
+// search path: one Searcher, a search per iteration. -benchmem (or the
+// ReportAllocs below) is the acceptance gauge — warm searches must not
+// allocate their parents/bitmap/queue state, so allocs/op sits at ~0
+// versus the tens of allocations a one-shot core.BFS pays. The one-shot
+// variant is benchmarked alongside for the cold-vs-warm comparison.
+func BenchmarkSearchThroughput(b *testing.B) {
+	g := benchUniform(b, 1<<18, 8)
+	roots := []graph.Vertex{0, 101, 1 << 10, 1 << 15, 7}
+	tiers := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"sequential", core.Options{Algorithm: core.AlgSequential, Threads: 1}},
+		{"single-socket", core.Options{Algorithm: core.AlgSingleSocket, Threads: 4}},
+		{"multi-socket", core.Options{Algorithm: core.AlgMultiSocket, Threads: 8, Machine: topology.NehalemEP}},
+	}
+	for _, tier := range tiers {
+		b.Run("warm/"+tier.name, func(b *testing.B) {
+			s, err := core.NewSearcher(g, tier.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.BFS(0); err != nil { // absorb the cold search
+				b.Fatal(err)
+			}
+			var edges int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := s.BFS(roots[i%len(roots)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += res.EdgesTraversed
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(edges)/elapsed/1e6, "ME/s")
+				b.ReportMetric(float64(b.N)/elapsed, "searches/s")
+			}
+		})
+		b.Run("oneshot/"+tier.name, func(b *testing.B) {
+			var edges int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := core.BFS(g, roots[i%len(roots)], tier.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += res.EdgesTraversed
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(edges)/elapsed/1e6, "ME/s")
+				b.ReportMetric(float64(b.N)/elapsed, "searches/s")
+			}
+		})
+	}
+}
+
 // BenchmarkGraph500 runs the Graph500 protocol at a small scale and
 // reports the harmonic-mean TEPS as the custom metric.
 func BenchmarkGraph500(b *testing.B) {

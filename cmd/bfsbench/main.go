@@ -17,6 +17,7 @@
 //	bfsbench -experiment fig8b -mode sim  # simulated only
 //	bfsbench -list                        # list experiment ids
 //	bfsbench -trace out.json -breakdown   # one traced BFS, Chrome trace + phase table
+//	bfsbench -searches 64 -scale 20       # repeated searches on one session, cold vs warm
 //	bfsbench -experiment all -pprof :6060 # live pprof/expvar while experiments run
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for
@@ -44,6 +45,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "workload seed for measured runs")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		short     = flag.Bool("short", false, "shrink measured runs (CI-friendly)")
+		searches  = flag.Int("searches", 0, "run N back-to-back searches on one amortized session and report queries/sec (cold vs warm)")
 		traceOut  = flag.String("trace", "", "run one traced BFS and write a Chrome trace-event JSON file (view in Perfetto)")
 		breakdown = flag.Bool("breakdown", false, "run one traced BFS and print its per-level phase breakdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
@@ -96,7 +98,7 @@ func main() {
 	}
 
 	traceMode := *traceOut != "" || *breakdown
-	if *expID == "" && !traceMode {
+	if *expID == "" && !traceMode && *searches == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,6 +127,12 @@ func main() {
 	if traceMode {
 		if err := runTraced(out, cfg, *traceOut, *breakdown); err != nil {
 			fatal("bfsbench: trace: %v\n", err)
+		}
+	}
+
+	if *searches > 0 {
+		if err := runSearches(out, cfg, *searches); err != nil {
+			fatal("bfsbench: searches: %v\n", err)
 		}
 	}
 

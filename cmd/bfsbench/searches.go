@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcbfs/internal/core"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/rng"
+	"mcbfs/internal/stats"
+)
+
+// runSearches exercises the amortized-search-session path: one Searcher
+// over one R-MAT graph, issuing many queries back to back. It reports
+// the cold rate (first query, session setup charged to it), the warm
+// distribution over the remaining queries, and end-to-end queries/sec —
+// the figure of merit for repeated-search workloads (landmark tables,
+// st-queries, K3-style neighbourhood extraction) as opposed to the
+// single-search TEPS of the experiment tables.
+func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
+	if searches < 1 {
+		return fmt.Errorf("searches %d must be >= 1", searches)
+	}
+	n := cfg.measuredN()
+	g, err := measuredRMAT(log2(n), int64(n)*16, cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	// Sample roots with non-zero degree, Graph500-style, reusing roots
+	// cyclically if the component structure offers fewer than requested.
+	r := rng.New(cfg.Seed ^ 0x5ea5c)
+	roots := make([]graph.Vertex, 0, searches)
+	for attempts := 0; len(roots) < searches && attempts < 100*searches; attempts++ {
+		v := graph.Vertex(r.Intn(g.NumVertices()))
+		if g.Degree(v) > 0 {
+			roots = append(roots, v)
+		}
+	}
+	if len(roots) == 0 {
+		return fmt.Errorf("no non-isolated roots at scale %d", log2(n))
+	}
+
+	setupStart := time.Now()
+	s, err := core.NewSearcher(g, core.Options{Tracer: cfg.Tracer})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	setup := time.Since(setupStart)
+
+	var (
+		teps     []float64
+		coldTEPS float64
+		total    time.Duration
+	)
+	for i, root := range roots {
+		res, err := s.BFS(root)
+		if err != nil {
+			return err
+		}
+		total += res.Duration
+		teps = append(teps, res.EdgesPerSecond())
+		if i == 0 {
+			if d := setup + res.Duration; d > 0 {
+				coldTEPS = float64(res.EdgesTraversed) / d.Seconds()
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "searches=%d scale=%d: %.1f queries/sec over one session (setup %v amortized)\n",
+		len(roots), log2(n), float64(len(roots))/(setup+total).Seconds(),
+		setup.Round(time.Microsecond))
+	fmt.Fprintf(w, "  cold:  %s TEPS (query 0, session setup included)\n", stats.FormatRate(coldTEPS))
+	if len(teps) > 1 {
+		warm := teps[1:]
+		fmt.Fprintf(w, "  warm:  %s harmonic-mean TEPS (min %s, median %s, max %s)\n",
+			stats.FormatRate(stats.HarmonicMean(warm)),
+			stats.FormatRate(stats.Quantile(warm, 0)),
+			stats.FormatRate(stats.Quantile(warm, 0.5)),
+			stats.FormatRate(stats.Quantile(warm, 1)))
+	}
+	return nil
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	s := 0
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}

@@ -50,6 +50,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(res)
+	if res.WarmHarmonicMeanTEPS > 0 {
+		fmt.Printf("session: cold %s TEPS (root 0, includes session setup), warm %s harmonic-mean TEPS (roots 1..%d, pooled state reused)\n",
+			stats.FormatRate(res.ColdTEPS), stats.FormatRate(res.WarmHarmonicMeanTEPS), res.RootsRun-1)
+	}
 	fmt.Printf("graph: %d vertices, %d directed edge slots, mean reach %.0f vertices/root\n",
 		res.Vertices, res.Edges, res.MeanReached)
 	fmt.Printf("construction: %v total = generate %v + build csr %v (%s edge slots/s, %d-way build)\n",

@@ -66,13 +66,21 @@ func ConnectedComponents(g *graph.Graph, symmetric bool, opt core.Options) (*Com
 	for i := range label {
 		label[i] = NoComponent
 	}
+	// One search session covers every component: after the giant
+	// component's search, the small-component searches pay only an
+	// O(touched) reset each instead of re-zeroing n-sized arrays.
+	searcher, err := core.NewSearcher(u, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer searcher.Close()
 	var sizes []int64
 	next := int32(0)
 	for v := 0; v < n; v++ {
 		if label[v] != NoComponent {
 			continue
 		}
-		res, err := core.BFS(u, graph.Vertex(v), opt)
+		res, err := searcher.BFS(graph.Vertex(v))
 		if err != nil {
 			return nil, err
 		}

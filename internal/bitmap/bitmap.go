@@ -180,6 +180,27 @@ func (a *Atomic) Reset() {
 	}
 }
 
+// ClearWordOf zeroes the whole 64-bit word containing bit i. It is the
+// O(touched) reset primitive of a pooled search session: walking the
+// reached list and zeroing each vertex's word clears every set bit as
+// long as set bits only ever belong to reached vertices. Like Reset it
+// is quiescent-only — it must not race with concurrent mutation.
+func (a *Atomic) ClearWordOf(i int) {
+	a.words[i/wordBits].Store(0)
+}
+
+// ResetWords zeroes words [lo, hi) — the shard primitive of a parallel
+// full clear (each worker resets a disjoint word range). Quiescent-only
+// in the same sense as Reset.
+func (a *Atomic) ResetWords(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.words[i].Store(0)
+	}
+}
+
+// Words returns the number of 64-bit words backing the bitmap.
+func (a *Atomic) Words() int { return len(a.words) }
+
 // Count returns the number of set bits. The count is only exact when no
 // concurrent mutation is in flight.
 func (a *Atomic) Count() int {

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"mcbfs/internal/graph"
@@ -235,51 +236,69 @@ func (r *Result) EdgesPerSecond() float64 {
 	return float64(r.EdgesTraversed) / s
 }
 
-// BFS explores g from root and returns the breadth-first tree. It is
-// the package's single entry point; Options selects the algorithm tier
-// and its tuning knobs.
+// BFS explores g from root and returns the breadth-first tree. It is a
+// convenience wrapper that creates a one-shot Searcher session, runs a
+// single search, and tears the session down; Options selects the
+// algorithm tier and its tuning knobs exactly as for NewSearcher.
+// Callers issuing repeated searches over one graph should hold a
+// Searcher instead and amortize the setup.
 func BFS(g *graph.Graph, root graph.Vertex, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("core: nil graph")
 	}
-	n := g.NumVertices()
-	if int(root) >= n {
+	if n := g.NumVertices(); int(root) >= n {
 		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, n)
 	}
-	o := opt.withDefaults()
-	if err := o.Machine.Validate(); err != nil {
+	s, err := NewSearcher(g, opt)
+	if err != nil {
 		return nil, err
 	}
-	switch o.Algorithm {
-	case AlgSequential:
-		return sequentialBFS(g, root, o)
-	case AlgParallelSimple:
-		return parallelSimpleBFS(g, root, o)
-	case AlgSingleSocket:
-		return singleSocketBFS(g, root, o)
-	case AlgMultiSocket:
-		return multiSocketBFS(g, root, o)
-	case AlgDirectionOptimizing:
-		gt := o.Transpose
-		if gt == nil {
-			// The parallel counting-sort builder makes this per-call
-			// transpose cheap, but callers running many searches over
-			// one graph should still precompute Options.Transpose.
-			gt = g.Transpose()
-		} else if gt.NumVertices() != n || gt.NumEdges() != g.NumEdges() {
-			return nil, errors.New("core: Options.Transpose does not match the graph")
-		}
-		return directionOptBFS(g, gt, root, o)
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	defer s.Close()
+	r, err := s.Search(root, Query{})
+	if err != nil {
+		return nil, err
 	}
+	// The session is one-shot: its pooled arrays are never reused, so
+	// ownership of Parents (and Trace/PerLevel) transfers to the caller
+	// with a shallow copy of the Result.
+	res := *r
+	return &res, nil
 }
 
 // newParents allocates a parent array initialized to NoParent.
 func newParents(n int) []uint32 {
 	p := make([]uint32, n)
-	for i := range p {
-		p[i] = NoParent
-	}
+	fillNoParent(p)
 	return p
+}
+
+// fillNoParent fills p with NoParent, in parallel for large arrays
+// using the CSR builder's worker count — before the session refactor
+// this serial O(n) fill ran ahead of every search; now it runs once per
+// session but still dominates one-shot setup at large n.
+func fillNoParent(p []uint32) {
+	workers := graph.BuildParallelism()
+	const serialCutoff = 1 << 17
+	if workers <= 1 || len(p) < serialCutoff {
+		for i := range p {
+			p[i] = NoParent
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(p) * w / workers
+		hi := len(p) * (w + 1) / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(q []uint32) {
+			defer wg.Done()
+			for i := range q {
+				q[i] = NoParent
+			}
+		}(p[lo:hi])
+	}
+	wg.Wait()
 }

@@ -1,15 +1,10 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"mcbfs/internal/affinity"
-	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
-	"mcbfs/internal/queue"
 )
 
 // Direction-optimizing BFS: an extension beyond the paper (the idea was
@@ -42,228 +37,186 @@ const (
 	hybridBeta  = 24
 )
 
-// directionOptBFS runs the hybrid top-down/bottom-up search. gt must be
-// the transpose of g (or g itself for symmetric graphs).
-func directionOptBFS(g, gt *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
-	n := g.NumVertices()
-	parents := newParents(n)
-	visited := bitmap.NewAtomic(n)
-	// The frontier bitmap is built and cleared by index-partitioning the
-	// CQ slice across workers — O(frontier/P) per worker — so two
-	// workers can touch the same word; the atomic bitmap's word-OR
-	// Set/Clear make that safe.
-	frontier := bitmap.NewAtomic(n)
-	cq := queue.NewChunkQueue(n)
-	nq := queue.NewChunkQueue(n)
-
-	workers := o.Threads
-	bar := newBarrier(workers)
-	var done atomic.Bool
-	var bottomUp atomic.Bool
-	edgeCounts := make([]int64, workers)
-	reachedCounts := make([]int64, workers)
-	levels := 0
-	var perLevel []LevelStats
-	coll := newObsCollector(o, workers, 1, AlgDirectionOptimizing)
-	collector := newStatsCollector(o.Instrument, workers, coll)
-	levelStart := time.Now()
-
-	start := time.Now()
-	parents[root] = uint32(root)
-	visited.Set(int(root))
-	cq.Push(uint32(root))
+// hybridWorker runs the hybrid top-down/bottom-up search over the
+// session's monotone queue: the current frontier is the window
+// [prevLimit, limit), read by Window in bottom-up levels (which never
+// pop) and popped by PopChunkBounded in top-down ones; the coordinator
+// realigns the consume cursor at each level transition.
+func (s *Searcher) hybridWorker(w int) {
+	ws := &s.ws[w]
+	wr := s.coll.Worker(w)
+	o := &s.o
+	g, gt := s.g, s.gt
+	workers := s.workers
+	var myEdges, myReached int64
+	local := ws.local[:0]
+	flush := func() {
+		s.q.PushBatch(local)
+		local = local[:0]
+	}
 
 	// Range partition for the bottom-up pass: worker w owns
-	// [lo(w), hi(w)), so each unvisited vertex is examined by exactly
+	// [myLo, myHi), so each unvisited vertex is examined by exactly
 	// one worker and claims itself with plain writes. Boundaries stay
 	// aligned to 64-vertex words so a worker's visited/parent updates
 	// never share a cache word's vertices with a neighbour's range.
-	words := (n + 63) / 64
-	lo := func(w int) int { return words * w / workers * 64 }
-	hi := func(w int) int {
-		h := words * (w + 1) / workers * 64
-		if h > n {
-			h = n
-		}
-		return h
+	words := (s.n + 63) / 64
+	myLo := words * w / workers * 64
+	myHi := words * (w + 1) / workers * 64
+	if myHi > s.n {
+		myHi = s.n
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if o.PinThreads {
-				if unpin, err := affinity.PinToCPU(w); err == nil {
-					defer unpin()
+	prev, limit := s.prevLimit, s.limit
+	for {
+		var stats LevelStats
+		if s.bottomUp.Load() {
+			// Build the frontier bitmap from an index partition of the
+			// current window: worker w sets the bits of its chunk,
+			// O(frontier/P) rather than every worker filter-scanning
+			// the whole frontier (O(frontier*P) total). Chunks hold
+			// arbitrary vertices, so bits are set with the atomic
+			// bitmap's word-OR.
+			tp := wr.PhaseStart()
+			frontierVerts := s.q.Window(prev, limit)
+			flo := len(frontierVerts) * w / workers
+			fhi := len(frontierVerts) * (w + 1) / workers
+			for _, v := range frontierVerts[flo:fhi] {
+				s.frontier.Set(int(v))
+			}
+			wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
+			tp = wr.PhaseStart()
+			s.bar.wait()
+			wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+
+			// Bottom-up sweep over this worker's unvisited range.
+			tp = wr.PhaseStart()
+			for v := myLo; v < myHi; v++ {
+				if s.visited.Get(v) {
+					continue
+				}
+				stats.BitmapReads++
+				for _, u := range gt.Neighbors(graph.Vertex(v)) {
+					stats.Edges++
+					if s.frontier.Get(int(u)) {
+						// Sole owner of v: plain writes suffice.
+						s.visited.Set(v)
+						s.parents[v] = uint32(u)
+						myReached++
+						local = append(local, uint32(v))
+						if len(local) == cap(local) {
+							flush()
+						}
+						break
+					}
 				}
 			}
-			wr := coll.Worker(w)
-			var myEdges, myReached int64
-			local := make([]uint32, 0, o.LocalBatch)
-			flush := func() {
-				nq.PushBatch(local)
-				local = local[:0]
+			flush()
+			wr.PhaseEnd(obs.PhaseBottomUpScan, tp)
+
+			// Everyone must finish sweeping before anyone clears: a
+			// cleared bit would hide a frontier parent from a worker
+			// still scanning, deferring the discovery one level and
+			// corrupting BFS depths.
+			tp = wr.PhaseStart()
+			s.bar.wait()
+			wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+
+			// Clear this chunk's frontier bits for the next level —
+			// the same index partition and atomic word ops as the
+			// build pass.
+			tp = wr.PhaseStart()
+			for _, v := range frontierVerts[flo:fhi] {
+				s.frontier.Clear(int(v))
 			}
+			wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
+		} else {
+			// Top-down: identical to the single-socket algorithm.
+			tp := wr.PhaseStart()
 			for {
-				var stats LevelStats
-				if bottomUp.Load() {
-					// Build the frontier bitmap from an index partition of
-					// the shared CQ: worker w sets the bits of its slice
-					// chunk, O(frontier/P) rather than every worker
-					// filter-scanning the whole frontier (O(frontier*P)
-					// total). Chunks hold arbitrary vertices, so bits are
-					// set with the atomic bitmap's word-OR.
-					tp := wr.PhaseStart()
-					frontierVerts := cq.Slice()
-					flo := len(frontierVerts) * w / workers
-					fhi := len(frontierVerts) * (w + 1) / workers
-					myLo, myHi := lo(w), hi(w)
-					for _, v := range frontierVerts[flo:fhi] {
-						frontier.Set(int(v))
-					}
-					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
-					tp = wr.PhaseStart()
-					bar.wait()
-					wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-
-					// Bottom-up sweep over this worker's unvisited range.
-					tp = wr.PhaseStart()
-					for v := myLo; v < myHi; v++ {
-						if visited.Get(v) {
-							continue
+				chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
+				if chunk == nil {
+					break
+				}
+				for _, u := range chunk {
+					nbrs := g.Neighbors(graph.Vertex(u))
+					stats.Frontier++
+					stats.Edges += int64(len(nbrs))
+					for _, v := range nbrs {
+						if !o.DisableDoubleCheck {
+							stats.BitmapReads++
+							if s.visited.Get(int(v)) {
+								continue
+							}
 						}
-						stats.BitmapReads++
-						for _, u := range gt.Neighbors(graph.Vertex(v)) {
-							stats.Edges++
-							if frontier.Get(int(u)) {
-								// Sole owner of v: plain writes suffice.
-								visited.Set(v)
-								parents[v] = uint32(u)
-								myReached++
-								local = append(local, uint32(v))
-								if len(local) == cap(local) {
-									flush()
-								}
-								break
+						stats.AtomicOps++
+						if !s.visited.TestAndSet(int(v)) {
+							s.parents[v] = u
+							myReached++
+							local = append(local, v)
+							if len(local) == cap(local) {
+								flush()
 							}
 						}
 					}
-					flush()
-					wr.PhaseEnd(obs.PhaseBottomUpScan, tp)
-
-					// Everyone must finish sweeping before anyone clears:
-					// a cleared bit would hide a frontier parent from a
-					// worker still scanning, deferring the discovery one
-					// level and corrupting BFS depths.
-					tp = wr.PhaseStart()
-					bar.wait()
-					wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-
-					// Clear this chunk's frontier bits for the next level —
-					// the same index partition and atomic word ops as the
-					// build pass.
-					tp = wr.PhaseStart()
-					for _, v := range frontierVerts[flo:fhi] {
-						frontier.Clear(int(v))
-					}
-					wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
-				} else {
-					// Top-down: identical to the single-socket algorithm.
-					tp := wr.PhaseStart()
-					for {
-						chunk := cq.PopChunk(o.ChunkSize)
-						if chunk == nil {
-							break
-						}
-						for _, u := range chunk {
-							nbrs := g.Neighbors(graph.Vertex(u))
-							stats.Frontier++
-							stats.Edges += int64(len(nbrs))
-							for _, v := range nbrs {
-								if !o.DisableDoubleCheck {
-									stats.BitmapReads++
-									if visited.Get(int(v)) {
-										continue
-									}
-								}
-								stats.AtomicOps++
-								if !visited.TestAndSet(int(v)) {
-									parents[v] = u
-									myReached++
-									local = append(local, v)
-									if len(local) == cap(local) {
-										flush()
-									}
-								}
-							}
-						}
-					}
-					flush()
-					wr.PhaseEnd(obs.PhaseLocalScan, tp)
-				}
-				if bottomUp.Load() {
-					// In bottom-up mode the frontier counter reflects the
-					// vertices expanded, which is the previous level's CQ.
-					stats.Frontier = 0 // folded by the coordinator below
-				}
-				myEdges += stats.Edges
-				collector.add(w, stats)
-
-				tp := wr.PhaseStart()
-				if bar.wait() {
-					if bottomUp.Load() && collector.active() {
-						// Attribute the frontier size to the level.
-						collector.slots[0].Frontier += int64(cq.Size())
-					}
-					collector.fold(&perLevel, time.Since(levelStart))
-					levelStart = time.Now()
-					cq.Reset()
-					cq, nq = nq, cq
-					levels++
-					f := cq.Size()
-					if f == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
-						done.Store(true)
-					} else if bottomUp.Load() {
-						if f < n/hybridBeta {
-							bottomUp.Store(false)
-						}
-					} else {
-						if f > n/hybridAlpha {
-							bottomUp.Store(true)
-						}
-					}
-				}
-				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-				if bar.wait() {
-					collector.foldPhases(!done.Load())
-				}
-				wr.NextLevel()
-				if done.Load() {
-					edgeCounts[w] = myEdges
-					reachedCounts[w] = myReached
-					return
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+			flush()
+			wr.PhaseEnd(obs.PhaseLocalScan, tp)
+		}
+		myEdges += stats.Edges
+		s.stats.add(w, stats)
 
-	var edges, reached int64
-	for w := 0; w < workers; w++ {
-		edges += edgeCounts[w]
-		reached += reachedCounts[w]
+		tp := wr.PhaseStart()
+		if s.bar.wait() {
+			s.advanceHybrid()
+		}
+		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+		if s.bar.wait() {
+			s.stats.foldPhases(!s.done.Load())
+		}
+		wr.NextLevel()
+		if s.done.Load() {
+			ws.edges = myEdges
+			ws.reached = myReached
+			return
+		}
+		prev, limit = s.prevLimit, s.limit
 	}
-	return &Result{
-		Parents:        parents,
-		Root:           root,
-		Reached:        reached + 1,
-		EdgesTraversed: edges,
-		Levels:         levels,
-		Duration:       time.Since(start),
-		Algorithm:      AlgDirectionOptimizing,
-		Threads:        workers,
-		PerLevel:       perLevel,
-		Trace:          coll.Finish(),
-	}, nil
+}
+
+// advanceHybrid is the direction-optimizing level transition, run by
+// the coordinator elected at the closing barrier: credit the frontier
+// (bottom-up levels expand without popping, so worker counters miss
+// it), realign the consume cursor, advance the window, and apply the
+// alpha/beta direction switch.
+func (s *Searcher) advanceHybrid() {
+	if s.bottomUp.Load() {
+		// In bottom-up mode the frontier counter reflects the vertices
+		// expanded, which is the current window.
+		s.stats.creditFrontier(s.limit - s.prevLimit)
+	}
+	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
+	s.levelStart = time.Now()
+	// Bottom-up levels read the window without popping, leaving the
+	// consume cursor behind; realign it so the next top-down level pops
+	// only the new window.
+	s.q.SkipTo(s.limit)
+	old := s.limit
+	s.limit = int64(s.q.Size())
+	s.prevLimit = old
+	s.levels++
+	f := s.limit - old
+	switch {
+	case f == 0 || (s.maxLevels > 0 && s.levels >= s.maxLevels):
+		s.done.Store(true)
+	case s.bottomUp.Load():
+		if f < int64(s.n/hybridBeta) {
+			s.bottomUp.Store(false)
+		}
+	default:
+		if f > int64(s.n/hybridAlpha) {
+			s.bottomUp.Store(true)
+		}
+	}
 }

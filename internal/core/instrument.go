@@ -24,6 +24,10 @@ type statSlot struct {
 // and foldPhases — called by the coordinator of the level's closing
 // barrier — hands them to the obs.Collector together with the folded
 // phase timers.
+//
+// A Searcher embeds one statsCollector by value and re-arms it per
+// search over a pooled slot array, so an uninstrumented warm search
+// allocates nothing here.
 type statsCollector struct {
 	// enabled selects folding into Result.PerLevel (Options.Instrument).
 	enabled bool
@@ -39,14 +43,21 @@ type statsCollector struct {
 	pendingStart time.Duration
 }
 
-// newStatsCollector builds a collector; slots are allocated when either
-// Result.PerLevel (enabled) or the obs layer (rec) needs folded counts.
-func newStatsCollector(enabled bool, workers int, rec *obs.Collector) *statsCollector {
-	c := &statsCollector{enabled: enabled, rec: rec}
+// arm readies the collector for one search: slots (a pooled backing
+// array, one per worker) are attached only when either Result.PerLevel
+// (enabled) or the obs layer (rec) needs folded counts, and zeroed in
+// case the previous search left residue.
+func (c *statsCollector) arm(enabled bool, rec *obs.Collector, backing []statSlot) {
+	c.enabled = enabled
+	c.rec = rec
 	if enabled || rec != nil {
-		c.slots = make([]statSlot, workers)
+		c.slots = backing
+		for i := range c.slots {
+			c.slots[i].LevelStats = LevelStats{}
+		}
+	} else {
+		c.slots = nil
 	}
-	return c
 }
 
 // active reports whether workers should deposit counts at all.
@@ -63,6 +74,16 @@ func (c *statsCollector) add(w int, s LevelStats) {
 	slot.BitmapReads += s.BitmapReads
 	slot.AtomicOps += s.AtomicOps
 	slot.RemoteSends += s.RemoteSends
+}
+
+// creditFrontier adds f to worker 0's frontier count for the level in
+// progress. The direction-optimizing coordinator uses it in bottom-up
+// levels, where workers expand the frontier without popping it.
+func (c *statsCollector) creditFrontier(f int64) {
+	if c.slots == nil {
+		return
+	}
+	c.slots[0].Frontier += f
 }
 
 // fold sums all worker slots into one LevelStats, stamps the level

@@ -15,7 +15,8 @@ func TestStatSlotPadding(t *testing.T) {
 }
 
 func TestStatsCollectorFoldMultiWorker(t *testing.T) {
-	c := newStatsCollector(true, 3, nil)
+	var c statsCollector
+	c.arm(true, nil, make([]statSlot, 3))
 	c.add(0, LevelStats{Frontier: 1, Edges: 10, BitmapReads: 8, AtomicOps: 2, RemoteSends: 1})
 	c.add(1, LevelStats{Frontier: 2, Edges: 20, BitmapReads: 16, AtomicOps: 4, RemoteSends: 2})
 	c.add(2, LevelStats{Frontier: 4, Edges: 40, BitmapReads: 32, AtomicOps: 8, RemoteSends: 4})
@@ -36,7 +37,8 @@ func TestStatsCollectorFoldMultiWorker(t *testing.T) {
 }
 
 func TestStatsCollectorSlotsClearedBetweenLevels(t *testing.T) {
-	c := newStatsCollector(true, 2, nil)
+	var c statsCollector
+	c.arm(true, nil, make([]statSlot, 2))
 	c.add(0, LevelStats{Frontier: 5, Edges: 50})
 	c.add(1, LevelStats{AtomicOps: 3})
 	var dst []LevelStats
@@ -56,7 +58,8 @@ func TestStatsCollectorSlotsClearedBetweenLevels(t *testing.T) {
 }
 
 func TestStatsCollectorDisabledNoOp(t *testing.T) {
-	c := newStatsCollector(false, 4, nil)
+	var c statsCollector
+	c.arm(false, nil, make([]statSlot, 4))
 	if c.active() {
 		t.Error("disabled collector reports active")
 	}
@@ -77,7 +80,8 @@ func TestStatsCollectorTracerOnlyFeedsObs(t *testing.T) {
 	rec := obs.NewCollector(obs.Config{Workers: 2, Tracer: obs.TracerFuncs{
 		LevelEnd: func(level int, b obs.LevelBreakdown) { got = append(got, b) },
 	}})
-	c := newStatsCollector(false, 2, rec)
+	var c statsCollector
+	c.arm(false, rec, make([]statSlot, 2))
 	if !c.active() {
 		t.Fatal("collector with obs recorder should be active")
 	}

@@ -1,19 +1,14 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"mcbfs/internal/affinity"
-	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
 	"mcbfs/internal/queue"
-	"mcbfs/internal/topology"
 )
 
-// multiSocketBFS is the paper's Algorithm 3, the multi-socket tier.
+// multiSocketWorker is the paper's Algorithm 3, the multi-socket tier.
 //
 // The graph's vertex range, the parent array and the visited bitmap are
 // partitioned into contiguous per-socket blocks (Algorithm 3 line 2).
@@ -34,218 +29,153 @@ import (
 //
 // On the logical machine of this reproduction the "sockets" are
 // goroutine groups; the data partitioning, channel wiring and two-phase
-// schedule are identical to the paper's.
-func multiSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
-	n := g.NumVertices()
-	workers := o.Threads
-	sockets := o.Machine.SocketsForThreads(workers)
-	part, err := topology.NewPartition(n, sockets)
-	if err != nil {
-		return nil, err
-	}
+// schedule are identical to the paper's. Each socket's queue is
+// monotone — its level window advanced by the coordinator — so the
+// union of the per-socket queues is the reached list the session's
+// O(touched) reset walks.
+func (s *Searcher) multiSocketWorker(w int) {
+	ws := &s.ws[w]
+	wr := s.coll.Worker(w)
+	o := &s.o
+	g := s.g
+	var myEdges, myReached int64
+	this := o.Machine.SocketOfThread(w, s.workers)
+	myQ := s.qs[this]
+	local := ws.local[:0]
+	remote := ws.remote
+	recvBuf := ws.recvBuf
+	limit := s.sockLimit[this]
 
-	parents := newParents(n)
-	visited := bitmap.NewAtomic(n)
-
-	coll := newObsCollector(o, workers, sockets, AlgMultiSocket)
-
-	cqs := make([]*queue.ChunkQueue, sockets)
-	nqs := make([]*queue.ChunkQueue, sockets)
-	channels := make([]*queue.Channel, sockets)
-	for s := 0; s < sockets; s++ {
-		lo, hi := part.Range(s)
-		cap := hi - lo
-		if cap < 1 {
-			cap = 1
+	// claim runs the double-checked visitation protocol for a vertex
+	// owned by this socket and appends winners to the local batch.
+	claim := func(v, parent uint32, stats *LevelStats) {
+		if !o.DisableDoubleCheck {
+			stats.BitmapReads++
+			if s.visited.Get(int(v)) {
+				return
+			}
 		}
-		cqs[s] = queue.NewChunkQueue(cap)
-		nqs[s] = queue.NewChunkQueue(cap)
-		channels[s] = queue.NewChannel()
-		if o.Trace {
-			channels[s].EnableStats()
-		}
-	}
-	// prevChan carries the previous level's cumulative channel counters
-	// so the coordinator can emit per-level deltas. Touched only by the
-	// barrier coordinator between barriers.
-	prevChan := make([]queue.ChannelStats, sockets)
-
-	bar := newBarrier(workers)
-	var done atomic.Bool
-	edgeCounts := make([]int64, workers)
-	reachedCounts := make([]int64, workers)
-	levels := 0
-	var perLevel []LevelStats
-	collector := newStatsCollector(o.Instrument, workers, coll)
-	levelStart := time.Now()
-
-	start := time.Now()
-	parents[root] = uint32(root)
-	visited.Set(int(root))
-	cqs[part.DetermineSocket(uint32(root))].Push(uint32(root))
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if o.PinThreads {
-				if unpin, err := affinity.PinToCPU(w); err == nil {
-					defer unpin()
-				}
-			}
-			wr := coll.Worker(w)
-			var myEdges, myReached int64
-			this := o.Machine.SocketOfThread(w, workers)
-			myCQ := func() *queue.ChunkQueue { return cqs[this] }
-			myNQ := func() *queue.ChunkQueue { return nqs[this] }
-
-			local := make([]uint32, 0, o.LocalBatch)
-			remote := make([][]queue.Tuple, sockets)
-			for s := range remote {
-				remote[s] = make([]queue.Tuple, 0, o.BatchSize)
-			}
-			recvBuf := make([]queue.Tuple, o.BatchSize)
-
-			// claim runs the double-checked visitation protocol for a
-			// vertex owned by this socket and appends winners to the
-			// local batch.
-			claim := func(v, parent uint32, stats *LevelStats) {
-				if !o.DisableDoubleCheck {
-					stats.BitmapReads++
-					if visited.Get(int(v)) {
-						return
-					}
-				}
-				stats.AtomicOps++
-				if !visited.TestAndSet(int(v)) {
-					parents[v] = parent
-					myReached++
-					local = append(local, v)
-					if len(local) == cap(local) {
-						myNQ().PushBatch(local)
-						local = local[:0]
-					}
-				}
-			}
-
-			for {
-				var stats LevelStats
-
-				// Phase 1: expand the local frontier.
-				tp := wr.PhaseStart()
-				for {
-					chunk := myCQ().PopChunk(o.ChunkSize)
-					if chunk == nil {
-						break
-					}
-					for _, u := range chunk {
-						nbrs := g.Neighbors(graph.Vertex(u))
-						stats.Frontier++
-						stats.Edges += int64(len(nbrs))
-						for _, v := range nbrs {
-							s := part.DetermineSocket(v)
-							if s == this {
-								claim(v, u, &stats)
-								continue
-							}
-							stats.RemoteSends++
-							remote[s] = append(remote[s], queue.Tuple{V: v, Parent: u})
-							if len(remote[s]) == cap(remote[s]) {
-								channels[s].SendBatch(remote[s])
-								wr.RemoteBatch(s, len(remote[s]))
-								remote[s] = remote[s][:0]
-							}
-						}
-					}
-				}
-				for s := range remote {
-					channels[s].SendBatch(remote[s])
-					wr.RemoteBatch(s, len(remote[s]))
-					remote[s] = remote[s][:0]
-				}
-				wr.PhaseEnd(obs.PhaseLocalScan, tp)
-
-				// All sends for this level are complete once every worker
-				// reaches the barrier; only then may anyone drain.
-				tp = wr.PhaseStart()
-				bar.wait()
-				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-
-				// Phase 2: drain this socket's channel.
-				tp = wr.PhaseStart()
-				for {
-					got := channels[this].ReceiveBatch(recvBuf)
-					if got == 0 {
-						break
-					}
-					for _, t := range recvBuf[:got] {
-						claim(t.V, t.Parent, &stats)
-					}
-				}
-				nqs[this].PushBatch(local)
+		stats.AtomicOps++
+		if !s.visited.TestAndSet(int(v)) {
+			s.parents[v] = parent
+			myReached++
+			local = append(local, v)
+			if len(local) == cap(local) {
+				myQ.PushBatch(local)
 				local = local[:0]
-				wr.PhaseEnd(obs.PhaseQueueDrain, tp)
-				myEdges += stats.Edges
-				collector.add(w, stats)
+			}
+		}
+	}
 
-				tp = wr.PhaseStart()
-				if bar.wait() {
-					collector.fold(&perLevel, time.Since(levelStart))
-					levelStart = time.Now()
-					if o.Trace {
-						// Per-level channel samples: no sends are in
-						// flight between these barriers, so the deltas
-						// are exact.
-						for s := range channels {
-							cs := channels[s].Stats()
-							coll.AddChannelSample(s, cs.Tuples-prevChan[s].Tuples,
-								cs.Batches-prevChan[s].Batches, cs.MaxLen, cs.MaxBatch)
-							prevChan[s] = cs
-							channels[s].ResetHighWater()
-						}
+	for {
+		var stats LevelStats
+
+		// Phase 1: expand the local frontier.
+		tp := wr.PhaseStart()
+		for {
+			chunk := myQ.PopChunkBounded(o.ChunkSize, limit)
+			if chunk == nil {
+				break
+			}
+			for _, u := range chunk {
+				nbrs := g.Neighbors(graph.Vertex(u))
+				stats.Frontier++
+				stats.Edges += int64(len(nbrs))
+				for _, v := range nbrs {
+					sck := s.part.DetermineSocket(v)
+					if sck == this {
+						claim(v, u, &stats)
+						continue
 					}
-					total := 0
-					for s := 0; s < sockets; s++ {
-						cqs[s].Reset()
-						cqs[s], nqs[s] = nqs[s], cqs[s]
-						total += cqs[s].Size()
+					stats.RemoteSends++
+					remote[sck] = append(remote[sck], queue.Tuple{V: v, Parent: u})
+					if len(remote[sck]) == cap(remote[sck]) {
+						s.channels[sck].SendBatch(remote[sck])
+						wr.RemoteBatch(sck, len(remote[sck]))
+						remote[sck] = remote[sck][:0]
 					}
-					levels++
-					if total == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
-						done.Store(true)
-					}
-				}
-				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-				if bar.wait() {
-					collector.foldPhases(!done.Load())
-				}
-				wr.NextLevel()
-				if done.Load() {
-					edgeCounts[w] = myEdges
-					reachedCounts[w] = myReached
-					return
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+		// End-of-phase flush of the partial batches, skipping empty
+		// ones: in late levels most destinations have nothing pending,
+		// and an empty flush is pure overhead — a per-socket call per
+		// worker per level and zero-length tracer-hook noise.
+		for sck := range remote {
+			if len(remote[sck]) == 0 {
+				continue
+			}
+			s.channels[sck].SendBatch(remote[sck])
+			wr.RemoteBatch(sck, len(remote[sck]))
+			remote[sck] = remote[sck][:0]
+		}
+		wr.PhaseEnd(obs.PhaseLocalScan, tp)
 
-	var edges, reached int64
-	for w := 0; w < workers; w++ {
-		edges += edgeCounts[w]
-		reached += reachedCounts[w]
+		// All sends for this level are complete once every worker
+		// reaches the barrier; only then may anyone drain.
+		tp = wr.PhaseStart()
+		s.bar.wait()
+		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+
+		// Phase 2: drain this socket's channel.
+		tp = wr.PhaseStart()
+		for {
+			got := s.channels[this].ReceiveBatch(recvBuf)
+			if got == 0 {
+				break
+			}
+			for _, t := range recvBuf[:got] {
+				claim(t.V, t.Parent, &stats)
+			}
+		}
+		myQ.PushBatch(local)
+		local = local[:0]
+		wr.PhaseEnd(obs.PhaseQueueDrain, tp)
+		myEdges += stats.Edges
+		s.stats.add(w, stats)
+
+		tp = wr.PhaseStart()
+		if s.bar.wait() {
+			s.advanceMulti()
+		}
+		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+		if s.bar.wait() {
+			s.stats.foldPhases(!s.done.Load())
+		}
+		wr.NextLevel()
+		if s.done.Load() {
+			ws.edges = myEdges
+			ws.reached = myReached
+			return
+		}
+		limit = s.sockLimit[this]
 	}
-	return &Result{
-		Parents:        parents,
-		Root:           root,
-		Reached:        reached + 1,
-		EdgesTraversed: edges,
-		Levels:         levels,
-		Duration:       time.Since(start),
-		Algorithm:      AlgMultiSocket,
-		Threads:        workers,
-		PerLevel:       perLevel,
-		Trace:          coll.Finish(),
-	}, nil
+}
+
+// advanceMulti is the multi-socket level transition, run by the
+// coordinator elected at the closing barrier: sample the channels (no
+// sends are in flight between the barriers, so the per-level deltas are
+// exact), advance every socket's queue window, decide termination.
+func (s *Searcher) advanceMulti() {
+	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
+	s.levelStart = time.Now()
+	if s.chanStats && s.coll != nil {
+		for sck, c := range s.channels {
+			cs := c.Stats()
+			s.coll.AddChannelSample(sck, cs.Tuples-s.prevChan[sck].Tuples,
+				cs.Batches-s.prevChan[sck].Batches, cs.MaxLen, cs.MaxBatch)
+			s.prevChan[sck] = cs
+			c.ResetHighWater()
+		}
+	}
+	var total int64
+	for sck, q := range s.qs {
+		sz := int64(q.Size())
+		total += sz - s.sockLimit[sck]
+		s.sockLimit[sck] = sz
+	}
+	s.levels++
+	if total == 0 || (s.maxLevels > 0 && s.levels >= s.maxLevels) {
+		s.done.Store(true)
+	}
 }

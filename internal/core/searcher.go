@@ -1,0 +1,478 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mcbfs/internal/affinity"
+	"mcbfs/internal/bitmap"
+	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
+	"mcbfs/internal/queue"
+	"mcbfs/internal/topology"
+)
+
+// Query selects per-search overrides on a Searcher. The zero value
+// reruns the session's configuration.
+type Query struct {
+	// Algorithm overrides the session's tier for this search; AlgAuto
+	// (the zero value) keeps the session default.
+	Algorithm Algorithm
+	// MaxLevels overrides Options.MaxLevels for this search: 0 keeps
+	// the session setting, a negative value forces unbounded.
+	MaxLevels int
+}
+
+// jobKind is what the worker pool is asked to run between gates.
+type jobKind int
+
+const (
+	jobSearch jobKind = iota
+	jobClear
+)
+
+// searchWorker is one pool worker's pooled per-search scratch. The
+// slice fields are sized once (NewSearcher / ensureTier) and reused
+// every search, so a warm search allocates none of them. The trailing
+// pad keeps the end-of-search counter writes of adjacent workers off a
+// shared cache line.
+type searchWorker struct {
+	// local is the claimed-vertex batch (cap Options.LocalBatch),
+	// flushed into the next-level window of the tier's queue when full.
+	local []uint32
+	// probeHit backs the software-pipelined probe block
+	// (cap Options.ProbeBatch; nil when disabled).
+	probeHit []bool
+	// remote and recvBuf are the multi-socket tier's per-destination
+	// send batches and channel receive buffer (nil until that tier is
+	// first used).
+	remote  [][]queue.Tuple
+	recvBuf []queue.Tuple
+	// edges and reached are the worker's run totals, written once as the
+	// worker finishes a search and read by the caller after the finish
+	// gate.
+	edges, reached int64
+	_              [64]byte
+}
+
+// Searcher is a reusable BFS session bound to one graph: a persistent
+// worker pool (goroutines parked on a gate between queries, pinned once
+// when Options.PinThreads is set) plus pooled per-search state —
+// parents, visited/frontier bitmaps, chunk queues, inter-socket
+// channels and remote-batch buffers — sized to the graph and reused
+// across calls. A warm Search performs zero per-search heap allocations
+// of that state; the per-search cost is an O(touched) reset of what the
+// previous search dirtied, not an O(n) reinitialization.
+//
+// The reset stays O(touched) because each tier runs over a *monotone*
+// queue: the queue is never reset within a search, levels are windows
+// [prevLimit, limit) advanced by the level coordinator, and when the
+// search finishes the queue's contents are exactly the set of reached
+// vertices — a free "touched list" that the next Search walks to clear
+// only the parent entries and visited-bitmap words the last search
+// wrote (falling back to a parallel full clear when touched ≳ n/4).
+//
+// A Searcher serves one search at a time: Search, BFS and Close must
+// not be called concurrently. For concurrent query streams, create one
+// Searcher per stream — Searchers over the same graph are independent.
+type Searcher struct {
+	g  *graph.Graph
+	gt *graph.Graph // transpose; direction-optimizing tier only (lazy)
+	o  Options      // session options, resolved by withDefaults
+	n  int
+	workers int
+	sockets int
+	part    topology.Partition // multi-socket tier only
+
+	parents  []uint32
+	visited  *bitmap.Atomic
+	frontier *bitmap.Atomic // direction-optimizing tier only (lazy)
+
+	// q is the monotone queue of the shared-queue tiers (sequential,
+	// simple, single-socket, direction-optimizing); qs the per-socket
+	// queues of the multi-socket tier. At most one of them holds data
+	// after a search — the previous search's touched list.
+	q         *queue.ChunkQueue
+	qs        []*queue.ChunkQueue
+	channels  []*queue.Channel
+	chanStats bool
+	prevChan  []queue.ChannelStats
+
+	ws    []searchWorker
+	slots []statSlot // statsCollector backing, reused across searches
+
+	// bar synchronizes the workers inside a search (workers parties);
+	// gate hands jobs between the caller and the pool (workers+1
+	// parties, used alternately as launch and finish). The gate's mutex
+	// is what publishes the caller's pre-launch writes to the workers
+	// and the workers' finish writes back.
+	bar    *barrier
+	gate   *barrier
+	closed bool
+
+	// Per-search job description: written by Search before the launch
+	// gate, read by workers after it.
+	job       jobKind
+	alg       Algorithm
+	maxLevels int
+	coll      *obs.Collector
+
+	// Level-coordination state: written by the coordinator elected at
+	// the first level barrier, read by workers after the second (done
+	// and bottomUp are atomic because workers also poll them at level
+	// boundaries).
+	done       atomic.Bool
+	bottomUp   atomic.Bool
+	limit      int64
+	prevLimit  int64
+	sockLimit  []int64
+	levels     int
+	levelStart time.Time
+
+	stats    statsCollector
+	perLevel []LevelStats
+
+	hasTouched bool
+	res        Result
+}
+
+// NewSearcher builds a search session over g. The algorithm tier, its
+// worker count and all tuning knobs come from opt exactly as they do
+// for BFS; state for the default tier is allocated eagerly so the first
+// Search pays only the search itself, and state for other tiers
+// requested via Query.Algorithm is allocated on first use.
+func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	o := opt.withDefaults()
+	if err := o.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	switch o.Algorithm {
+	case AlgSequential, AlgParallelSimple, AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing:
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	}
+	n := g.NumVertices()
+	s := &Searcher{
+		g:       g,
+		o:       o,
+		n:       n,
+		workers: o.Threads,
+		sockets: o.Machine.SocketsForThreads(o.Threads),
+		parents: newParents(n),
+		visited: bitmap.NewAtomic(n),
+		ws:      make([]searchWorker, o.Threads),
+		slots:   make([]statSlot, o.Threads),
+		bar:     newBarrier(o.Threads),
+		gate:    newBarrier(o.Threads + 1),
+	}
+	for w := range s.ws {
+		s.ws[w].local = make([]uint32, 0, o.LocalBatch)
+		if o.ProbeBatch > 0 {
+			s.ws[w].probeHit = make([]bool, o.ProbeBatch)
+		}
+	}
+	if err := s.ensureTier(o.Algorithm); err != nil {
+		return nil, err
+	}
+	for w := 0; w < s.workers; w++ {
+		go s.workerLoop(w)
+	}
+	return s, nil
+}
+
+// ensureTier allocates the tier-specific pooled state the first time
+// this session runs the given algorithm.
+func (s *Searcher) ensureTier(alg Algorithm) error {
+	switch alg {
+	case AlgSequential, AlgParallelSimple, AlgSingleSocket, AlgDirectionOptimizing:
+		if s.q == nil {
+			s.q = queue.NewChunkQueue(s.n)
+		}
+		if alg == AlgDirectionOptimizing {
+			if s.frontier == nil {
+				s.frontier = bitmap.NewAtomic(s.n)
+			}
+			if s.gt == nil {
+				gt := s.o.Transpose
+				if gt == nil {
+					gt = s.g.Transpose()
+				} else if gt.NumVertices() != s.n || gt.NumEdges() != s.g.NumEdges() {
+					return errors.New("core: Options.Transpose does not match the graph")
+				}
+				s.gt = gt
+			}
+		}
+	case AlgMultiSocket:
+		if s.qs == nil {
+			part, err := topology.NewPartition(s.n, s.sockets)
+			if err != nil {
+				return err
+			}
+			s.part = part
+			s.qs = make([]*queue.ChunkQueue, s.sockets)
+			s.channels = make([]*queue.Channel, s.sockets)
+			s.prevChan = make([]queue.ChannelStats, s.sockets)
+			s.sockLimit = make([]int64, s.sockets)
+			for sck := 0; sck < s.sockets; sck++ {
+				lo, hi := part.Range(sck)
+				c := hi - lo
+				if c < 1 {
+					c = 1
+				}
+				s.qs[sck] = queue.NewChunkQueue(c)
+				s.channels[sck] = queue.NewChannel()
+			}
+			for w := range s.ws {
+				s.ws[w].remote = make([][]queue.Tuple, s.sockets)
+				for sck := range s.ws[w].remote {
+					s.ws[w].remote[sck] = make([]queue.Tuple, 0, s.o.BatchSize)
+				}
+				s.ws[w].recvBuf = make([]queue.Tuple, s.o.BatchSize)
+			}
+		}
+		// Channel counters cannot be disabled once on, so they are
+		// enabled lazily and only when the session traces.
+		if s.o.Trace && !s.chanStats {
+			for _, c := range s.channels {
+				c.EnableStats()
+			}
+			s.chanStats = true
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+	return nil
+}
+
+// workerLoop is one persistent pool worker: pinned once for the
+// session's lifetime when PinThreads is set, then parked on the gate
+// between jobs.
+func (s *Searcher) workerLoop(w int) {
+	if s.o.PinThreads {
+		if unpin, err := affinity.PinToCPU(w); err == nil {
+			defer unpin()
+		}
+	}
+	for {
+		s.gate.wait()
+		if s.closed {
+			return
+		}
+		switch s.job {
+		case jobSearch:
+			switch s.alg {
+			case AlgParallelSimple:
+				s.simpleWorker(w)
+			case AlgSingleSocket:
+				s.singleSocketWorker(w)
+			case AlgMultiSocket:
+				s.multiSocketWorker(w)
+			case AlgDirectionOptimizing:
+				s.hybridWorker(w)
+			}
+		case jobClear:
+			s.clearShard(w)
+		}
+		s.gate.wait()
+	}
+}
+
+// runJob hands the prepared job to the pool and blocks until every
+// worker has finished it.
+func (s *Searcher) runJob(kind jobKind) {
+	s.job = kind
+	s.gate.wait()
+	s.gate.wait()
+}
+
+// clearShard is worker w's share of the parallel full-reset fallback:
+// restore a word-aligned shard of the parent array and visited bitmap.
+// Word alignment keeps two workers' bitmap stores off the same word.
+func (s *Searcher) clearShard(w int) {
+	words := (s.n + 63) / 64
+	wlo := words * w / s.workers
+	whi := words * (w + 1) / s.workers
+	lo := wlo * 64
+	hi := whi * 64
+	if hi > s.n {
+		hi = s.n
+	}
+	p := s.parents[lo:hi]
+	for i := range p {
+		p[i] = NoParent
+	}
+	s.visited.ResetWords(wlo, whi)
+}
+
+// resetState restores parents, visited and the queues after the
+// previous search, in O(touched) rather than O(n): the monotone queues
+// hold exactly the vertices the search reached, and every set visited
+// bit belongs to a reached vertex, so walking the queue contents and
+// zeroing each vertex's parent entry and containing bitmap word
+// restores the pristine state. When the previous search touched a large
+// fraction of the graph, a parallel full clear beats the walk's random
+// stores.
+func (s *Searcher) resetState() {
+	if !s.hasTouched {
+		return
+	}
+	touched := 0
+	if s.q != nil {
+		touched += s.q.Size()
+	}
+	for _, q := range s.qs {
+		touched += q.Size()
+	}
+	switch {
+	case touched >= s.n/4 && s.workers > 1:
+		s.runJob(jobClear)
+	case touched >= s.n/4:
+		s.clearShard(0)
+	default:
+		if s.q != nil {
+			for _, v := range s.q.Slice() {
+				s.parents[v] = NoParent
+				s.visited.ClearWordOf(int(v))
+			}
+		}
+		for _, q := range s.qs {
+			for _, v := range q.Slice() {
+				s.parents[v] = NoParent
+				s.visited.ClearWordOf(int(v))
+			}
+		}
+	}
+	if s.q != nil {
+		s.q.Reset()
+	}
+	for _, q := range s.qs {
+		q.Reset()
+	}
+	s.hasTouched = false
+}
+
+// BFS runs one search from root with the session's configuration — the
+// repeated-query fast path.
+func (s *Searcher) BFS(root graph.Vertex) (*Result, error) {
+	return s.Search(root, Query{})
+}
+
+// Search runs one BFS from root, reusing the session's pooled state.
+// The returned Result — including Parents, PerLevel and Trace — remains
+// valid only until the next Search or Close on this Searcher; copy what
+// must outlive it. Search must not be called concurrently with itself
+// or Close.
+func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
+	if s.closed {
+		return nil, errors.New("core: Search on a closed Searcher")
+	}
+	if int(root) >= s.n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, s.n)
+	}
+	alg := q.Algorithm
+	if alg == AlgAuto {
+		alg = s.o.Algorithm
+	}
+	if err := s.ensureTier(alg); err != nil {
+		return nil, err
+	}
+	maxLevels := s.o.MaxLevels
+	if q.MaxLevels > 0 {
+		maxLevels = q.MaxLevels
+	} else if q.MaxLevels < 0 {
+		maxLevels = 0
+	}
+
+	s.resetState()
+
+	tierWorkers := s.workers
+	tierSockets := 1
+	if alg == AlgSequential {
+		tierWorkers = 1
+	}
+	if alg == AlgMultiSocket {
+		tierSockets = s.sockets
+	}
+	s.coll = newObsCollector(s.o, tierWorkers, tierSockets, alg)
+	s.alg = alg
+	s.maxLevels = maxLevels
+	s.levels = 0
+	s.done.Store(false)
+	if s.o.Instrument {
+		s.perLevel = s.perLevel[:0]
+	} else {
+		s.perLevel = nil
+	}
+
+	start := time.Now()
+	s.levelStart = start
+	s.parents[root] = uint32(root)
+	var edges, reached int64
+	if alg == AlgSequential {
+		// The serial baseline runs inline on the caller's goroutine.
+		edges, reached = s.sequentialSearch(root)
+	} else {
+		s.stats.arm(s.o.Instrument, s.coll, s.slots)
+		switch alg {
+		case AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing:
+			s.visited.Set(int(root))
+		}
+		if alg == AlgMultiSocket {
+			s.qs[s.part.DetermineSocket(uint32(root))].Push(uint32(root))
+			for i := range s.sockLimit {
+				s.sockLimit[i] = int64(s.qs[i].Size())
+			}
+			if s.chanStats {
+				// Channel counters are cumulative across searches;
+				// re-baseline the per-level delta tracking.
+				for i, c := range s.channels {
+					s.prevChan[i] = c.Stats()
+					c.ResetHighWater()
+				}
+			}
+		} else {
+			s.q.Push(uint32(root))
+			s.prevLimit = 0
+			s.limit = 1
+			s.bottomUp.Store(false)
+		}
+		s.runJob(jobSearch)
+		for w := range s.ws {
+			edges += s.ws[w].edges
+			reached += s.ws[w].reached
+		}
+		reached++ // workers count discoveries; the root is seeded
+	}
+
+	s.res = Result{
+		Parents:        s.parents,
+		Root:           root,
+		Reached:        reached,
+		EdgesTraversed: edges,
+		Levels:         s.levels,
+		Duration:       time.Since(start),
+		Algorithm:      alg,
+		Threads:        tierWorkers,
+		PerLevel:       s.perLevel,
+		Trace:          s.coll.Finish(),
+	}
+	s.hasTouched = true
+	return &s.res, nil
+}
+
+// Close shuts down the worker pool. Results returned earlier (and their
+// Parents) remain readable; further Search calls fail. Close is
+// idempotent but must not run concurrently with Search.
+func (s *Searcher) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.gate.wait() // release the pool; workers observe closed and exit
+	return nil
+}

@@ -7,34 +7,27 @@ import (
 	"mcbfs/internal/obs"
 )
 
-// sequentialBFS is the serial baseline: a textbook two-queue
-// level-synchronous BFS. It shares the Result bookkeeping (levels, m_a,
-// optional per-level stats) with the parallel tiers so that speedup
-// numbers compare identical work, and feeds the same observability
-// layer (one worker, local-scan phase only).
-func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
-	n := g.NumVertices()
-	parents := newParents(n)
-	cq := make([]uint32, 0, n)
-	nq := make([]uint32, 0, n)
+// sequentialSearch is the serial baseline: a textbook level-synchronous
+// BFS, run inline on the caller's goroutine over the session's monotone
+// queue (levels are windows of one append-only queue, so the queue's
+// final contents double as the touched list the next reset walks). It
+// shares the Result bookkeeping (levels, m_a, optional per-level stats)
+// with the parallel tiers so that speedup numbers compare identical
+// work, and feeds the same observability layer (one worker, local-scan
+// phase only).
+func (s *Searcher) sequentialSearch(root graph.Vertex) (edges, reached int64) {
+	g, q := s.g, s.q
+	wr := s.coll.Worker(0)
+	observe := s.o.Instrument || s.coll != nil
 
-	coll := newObsCollector(o, 1, 1, AlgSequential)
-	wr := coll.Worker(0)
-
-	start := time.Now()
-	parents[root] = uint32(root)
-	cq = append(cq, uint32(root))
-	var reached int64 = 1
-	var edges int64
-	levels := 0
-	var perLevel []LevelStats
-	observe := o.Instrument || coll != nil
-
-	for len(cq) > 0 && (o.MaxLevels == 0 || levels < o.MaxLevels) {
+	q.Push(uint32(root))
+	reached = 1
+	prev, limit := int64(0), int64(1)
+	for limit > prev && (s.maxLevels == 0 || s.levels < s.maxLevels) {
 		var stats LevelStats
 		levelStart := time.Now()
 		tp := wr.PhaseStart()
-		for _, u := range cq {
+		for _, u := range q.Window(prev, limit) {
 			nbrs := g.Neighbors(graph.Vertex(u))
 			edges += int64(len(nbrs))
 			if observe {
@@ -43,9 +36,9 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 				stats.BitmapReads += int64(len(nbrs))
 			}
 			for _, v := range nbrs {
-				if parents[v] == NoParent {
-					parents[v] = u
-					nq = append(nq, v)
+				if s.parents[v] == NoParent {
+					s.parents[v] = u
+					q.Push(v)
 					reached++
 					if observe {
 						stats.AtomicOps++ // the claim a parallel run would make atomic
@@ -54,15 +47,15 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 			}
 		}
 		wr.PhaseEnd(obs.PhaseLocalScan, tp)
-		levels++
+		s.levels++
 		stats.Duration = time.Since(levelStart)
-		if o.Instrument {
-			perLevel = append(perLevel, stats)
+		if s.o.Instrument {
+			s.perLevel = append(s.perLevel, stats)
 		}
-		cq, nq = nq, cq[:0]
-		if coll != nil {
-			more := len(cq) > 0 && (o.MaxLevels == 0 || levels < o.MaxLevels)
-			coll.EndLevel(levelStart.Sub(coll.Origin()), stats.Duration, obs.Counters{
+		prev, limit = limit, int64(q.Size())
+		if s.coll != nil {
+			more := limit > prev && (s.maxLevels == 0 || s.levels < s.maxLevels)
+			s.coll.EndLevel(levelStart.Sub(s.coll.Origin()), stats.Duration, obs.Counters{
 				Frontier:    stats.Frontier,
 				Edges:       stats.Edges,
 				BitmapReads: stats.BitmapReads,
@@ -71,17 +64,5 @@ func sequentialBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error
 			wr.NextLevel()
 		}
 	}
-
-	return &Result{
-		Parents:        parents,
-		Root:           root,
-		Reached:        reached,
-		EdgesTraversed: edges,
-		Levels:         levels,
-		Duration:       time.Since(start),
-		Algorithm:      AlgSequential,
-		Threads:        1,
-		PerLevel:       perLevel,
-		Trace:          coll.Finish(),
-	}, nil
+	return edges, reached
 }

@@ -1,139 +1,104 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
-	"mcbfs/internal/affinity"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
-	"mcbfs/internal/queue"
 )
 
-// parallelSimpleBFS is the paper's Algorithm 1: a level-synchronous BFS
-// with one shared current queue and one shared next queue, where
-// visitation is claimed directly on the parent array with an atomic
-// compare-and-swap (the paper's "the assignment in lines 10-12 must be
-// executed atomically").
+// simpleWorker is the paper's Algorithm 1: a level-synchronous BFS
+// where visitation is claimed directly on the parent array with an
+// atomic compare-and-swap (the paper's "the assignment in lines 10-12
+// must be executed atomically").
 //
 // Its weaknesses are exactly what the later tiers fix: the random
 // working set is the full 4-byte-per-vertex parent array, and every
 // discovered neighbour costs a lock-prefixed instruction.
-func parallelSimpleBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
-	n := g.NumVertices()
-	parents := newParents(n)
-	cq := queue.NewChunkQueue(n)
-	nq := queue.NewChunkQueue(n)
-
-	workers := o.Threads
-	bar := newBarrier(workers)
-	var done atomic.Bool
-	edgeCounts := make([]int64, workers)
-	reachedCounts := make([]int64, workers)
-	levels := 0
-	var perLevel []LevelStats
-	coll := newObsCollector(o, workers, 1, AlgParallelSimple)
-	collector := newStatsCollector(o.Instrument, workers, coll)
-	levelStart := time.Now()
-
-	start := time.Now()
-	parents[root] = uint32(root)
-	cq.Push(uint32(root))
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if o.PinThreads {
-				if unpin, err := affinity.PinToCPU(w); err == nil {
-					defer unpin()
-				}
+//
+// Unlike the paper's two-queue formulation, all session tiers run over
+// one monotone queue: workers pop the current level's window
+// [head, limit) and append discoveries past it; the coordinator
+// advances the window at the level barrier. The queue is never reset
+// mid-search, so its final contents are the reached list the session's
+// O(touched) reset walks.
+func (s *Searcher) simpleWorker(w int) {
+	ws := &s.ws[w]
+	wr := s.coll.Worker(w)
+	o := &s.o
+	g := s.g
+	// Run totals stay in worker-local variables until exit so the hot
+	// loop never writes a cache line another worker's totals live on.
+	var myEdges, myReached int64
+	local := ws.local[:0]
+	limit := s.limit
+	for {
+		var stats LevelStats
+		tp := wr.PhaseStart()
+		for {
+			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
+			if chunk == nil {
+				break
 			}
-			wr := coll.Worker(w)
-			// Run totals stay in worker-local variables until exit so
-			// the hot loop never writes a cache line another worker's
-			// totals live on.
-			var myEdges, myReached int64
-			local := make([]uint32, 0, o.LocalBatch)
-			for {
-				var stats LevelStats
-				tp := wr.PhaseStart()
-				for {
-					chunk := cq.PopChunk(o.ChunkSize)
-					if chunk == nil {
-						break
-					}
-					for _, u := range chunk {
-						nbrs := g.Neighbors(graph.Vertex(u))
-						stats.Frontier++
-						stats.Edges += int64(len(nbrs))
-						for _, v := range nbrs {
-							// Algorithm 1 claims the parent slot directly;
-							// the load is part of the CAS loop, not a
-							// bitmap-style cheap probe.
-							stats.AtomicOps++
-							if atomic.CompareAndSwapUint32(&parents[v], NoParent, u) {
-								myReached++
-								local = append(local, v)
-								if len(local) == cap(local) {
-									nq.PushBatch(local)
-									local = local[:0]
-								}
-							}
+			for _, u := range chunk {
+				nbrs := g.Neighbors(graph.Vertex(u))
+				stats.Frontier++
+				stats.Edges += int64(len(nbrs))
+				for _, v := range nbrs {
+					// Algorithm 1 claims the parent slot directly; the
+					// load is part of the CAS loop, not a bitmap-style
+					// cheap probe.
+					stats.AtomicOps++
+					if atomic.CompareAndSwapUint32(&s.parents[v], NoParent, u) {
+						myReached++
+						local = append(local, v)
+						if len(local) == cap(local) {
+							s.q.PushBatch(local)
+							local = local[:0]
 						}
 					}
 				}
-				nq.PushBatch(local)
-				local = local[:0]
-				wr.PhaseEnd(obs.PhaseLocalScan, tp)
-				myEdges += stats.Edges
-				collector.add(w, stats)
-
-				// Everyone finished the level; the coordinator swaps the
-				// queues and decides termination.
-				tp = wr.PhaseStart()
-				if bar.wait() {
-					collector.fold(&perLevel, time.Since(levelStart))
-					levelStart = time.Now()
-					cq.Reset()
-					cq, nq = nq, cq
-					levels++
-					if cq.Size() == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
-						done.Store(true)
-					}
-				}
-				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-				if bar.wait() {
-					collector.foldPhases(!done.Load())
-				}
-				wr.NextLevel()
-				if done.Load() {
-					edgeCounts[w] = myEdges
-					reachedCounts[w] = myReached
-					return
-				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+		s.q.PushBatch(local)
+		local = local[:0]
+		wr.PhaseEnd(obs.PhaseLocalScan, tp)
+		myEdges += stats.Edges
+		s.stats.add(w, stats)
 
-	var edges, reached int64
-	for w := 0; w < workers; w++ {
-		edges += edgeCounts[w]
-		reached += reachedCounts[w]
+		// Everyone finished the level; the coordinator advances the
+		// window and decides termination.
+		tp = wr.PhaseStart()
+		if s.bar.wait() {
+			s.advanceShared()
+		}
+		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+		if s.bar.wait() {
+			s.stats.foldPhases(!s.done.Load())
+		}
+		wr.NextLevel()
+		if s.done.Load() {
+			ws.edges = myEdges
+			ws.reached = myReached
+			return
+		}
+		limit = s.limit
 	}
-	return &Result{
-		Parents:        parents,
-		Root:           root,
-		Reached:        reached + 1, // workers count discoveries; the root is seeded
-		EdgesTraversed: edges,
-		Levels:         levels,
-		Duration:       time.Since(start),
-		Algorithm:      AlgParallelSimple,
-		Threads:        workers,
-		PerLevel:       perLevel,
-		Trace:          coll.Finish(),
-	}, nil
+}
+
+// advanceShared is the level transition of the shared-queue tiers, run
+// by the coordinator elected at the first level barrier (its writes are
+// published to the other workers by the second): fold the level's
+// stats, advance the monotone window, decide termination.
+func (s *Searcher) advanceShared() {
+	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
+	s.levelStart = time.Now()
+	old := s.limit
+	s.limit = int64(s.q.Size())
+	s.prevLimit = old
+	s.levels++
+	if s.limit == old || (s.maxLevels > 0 && s.levels >= s.maxLevels) {
+		s.done.Store(true)
+	}
 }

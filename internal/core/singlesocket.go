@@ -1,18 +1,11 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"mcbfs/internal/affinity"
-	"mcbfs/internal/bitmap"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
-	"mcbfs/internal/queue"
 )
 
-// singleSocketBFS is the paper's Algorithm 2, the single-socket
+// singleSocketWorker is the paper's Algorithm 2, the single-socket
 // optimized tier. Two changes over Algorithm 1:
 //
 //  1. Visitation state moves from the parent array into a bitmap: the
@@ -29,155 +22,100 @@ import (
 //
 // The parent slot is written only by the winner of the atomic, so the
 // write itself needs no synchronization; the level barrier publishes it.
-func singleSocketBFS(g *graph.Graph, root graph.Vertex, o Options) (*Result, error) {
-	n := g.NumVertices()
-	parents := newParents(n)
-	visited := bitmap.NewAtomic(n)
-	cq := queue.NewChunkQueue(n)
-	nq := queue.NewChunkQueue(n)
-
-	workers := o.Threads
-	bar := newBarrier(workers)
-	var done atomic.Bool
-	edgeCounts := make([]int64, workers)
-	reachedCounts := make([]int64, workers)
-	levels := 0
-	var perLevel []LevelStats
-	coll := newObsCollector(o, workers, 1, AlgSingleSocket)
-	collector := newStatsCollector(o.Instrument, workers, coll)
-	levelStart := time.Now()
-
-	start := time.Now()
-	parents[root] = uint32(root)
-	visited.Set(int(root))
-	cq.Push(uint32(root))
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if o.PinThreads {
-				if unpin, err := affinity.PinToCPU(w); err == nil {
-					defer unpin()
-				}
+// Like every session tier it runs over the monotone queue: the current
+// level is the window [head, limit), discoveries land past limit, and
+// the queue's final contents are the reached list the next reset walks.
+func (s *Searcher) singleSocketWorker(w int) {
+	ws := &s.ws[w]
+	wr := s.coll.Worker(w)
+	o := &s.o
+	g := s.g
+	var myEdges, myReached int64
+	local := ws.local[:0]
+	probeHit := ws.probeHit
+	limit := s.limit
+	// claim runs the atomic half of the double-checked protocol.
+	claim := func(v, u uint32, stats *LevelStats) {
+		stats.AtomicOps++
+		if !s.visited.TestAndSet(int(v)) {
+			s.parents[v] = u
+			myReached++
+			local = append(local, v)
+			if len(local) == cap(local) {
+				s.q.PushBatch(local)
+				local = local[:0]
 			}
-			wr := coll.Worker(w)
-			var myEdges, myReached int64
-			local := make([]uint32, 0, o.LocalBatch)
-			var probeHit []bool
-			if o.ProbeBatch > 0 {
-				probeHit = make([]bool, o.ProbeBatch)
+		}
+	}
+	for {
+		var stats LevelStats
+		tp := wr.PhaseStart()
+		for {
+			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
+			if chunk == nil {
+				break
 			}
-			// claim runs the atomic half of the double-checked protocol.
-			claim := func(v, u uint32, stats *LevelStats) {
-				stats.AtomicOps++
-				if !visited.TestAndSet(int(v)) {
-					parents[v] = u
-					myReached++
-					local = append(local, v)
-					if len(local) == cap(local) {
-						nq.PushBatch(local)
-						local = local[:0]
-					}
-				}
-			}
-			for {
-				var stats LevelStats
-				tp := wr.PhaseStart()
-				for {
-					chunk := cq.PopChunk(o.ChunkSize)
-					if chunk == nil {
-						break
-					}
-					for _, u := range chunk {
-						nbrs := g.Neighbors(graph.Vertex(u))
-						stats.Frontier++
-						stats.Edges += int64(len(nbrs))
-						if o.ProbeBatch > 0 && !o.DisableDoubleCheck {
-							// Software-pipelined probing: issue a block of
-							// independent bitmap loads first, then run the
-							// claim logic over the survivors. The probe loop
-							// carries no load-dependent branches, so the
-							// memory system overlaps the misses — the
-							// paper's "multiple memory requests in flight"
-							// applied to the probe stream.
-							for base := 0; base < len(nbrs); base += o.ProbeBatch {
-								end := base + o.ProbeBatch
-								if end > len(nbrs) {
-									end = len(nbrs)
-								}
-								block := nbrs[base:end]
-								for i, v := range block {
-									probeHit[i] = visited.Get(int(v))
-								}
-								stats.BitmapReads += int64(len(block))
-								for i, v := range block {
-									if !probeHit[i] {
-										claim(v, u, &stats)
-									}
-								}
+			for _, u := range chunk {
+				nbrs := g.Neighbors(graph.Vertex(u))
+				stats.Frontier++
+				stats.Edges += int64(len(nbrs))
+				if o.ProbeBatch > 0 && !o.DisableDoubleCheck {
+					// Software-pipelined probing: issue a block of
+					// independent bitmap loads first, then run the
+					// claim logic over the survivors. The probe loop
+					// carries no load-dependent branches, so the
+					// memory system overlaps the misses — the
+					// paper's "multiple memory requests in flight"
+					// applied to the probe stream.
+					for base := 0; base < len(nbrs); base += o.ProbeBatch {
+						end := base + o.ProbeBatch
+						if end > len(nbrs) {
+							end = len(nbrs)
+						}
+						block := nbrs[base:end]
+						for i, v := range block {
+							probeHit[i] = s.visited.Get(int(v))
+						}
+						stats.BitmapReads += int64(len(block))
+						for i, v := range block {
+							if !probeHit[i] {
+								claim(v, u, &stats)
 							}
+						}
+					}
+					continue
+				}
+				for _, v := range nbrs {
+					if !o.DisableDoubleCheck {
+						stats.BitmapReads++
+						if s.visited.Get(int(v)) {
 							continue
 						}
-						for _, v := range nbrs {
-							if !o.DisableDoubleCheck {
-								stats.BitmapReads++
-								if visited.Get(int(v)) {
-									continue
-								}
-							}
-							claim(v, u, &stats)
-						}
 					}
-				}
-				nq.PushBatch(local)
-				local = local[:0]
-				wr.PhaseEnd(obs.PhaseLocalScan, tp)
-				myEdges += stats.Edges
-				collector.add(w, stats)
-
-				tp = wr.PhaseStart()
-				if bar.wait() {
-					collector.fold(&perLevel, time.Since(levelStart))
-					levelStart = time.Now()
-					cq.Reset()
-					cq, nq = nq, cq
-					levels++
-					if cq.Size() == 0 || (o.MaxLevels > 0 && levels >= o.MaxLevels) {
-						done.Store(true)
-					}
-				}
-				wr.PhaseEnd(obs.PhaseBarrierWait, tp)
-				if bar.wait() {
-					collector.foldPhases(!done.Load())
-				}
-				wr.NextLevel()
-				if done.Load() {
-					edgeCounts[w] = myEdges
-					reachedCounts[w] = myReached
-					return
+					claim(v, u, &stats)
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+		s.q.PushBatch(local)
+		local = local[:0]
+		wr.PhaseEnd(obs.PhaseLocalScan, tp)
+		myEdges += stats.Edges
+		s.stats.add(w, stats)
 
-	var edges, reached int64
-	for w := 0; w < workers; w++ {
-		edges += edgeCounts[w]
-		reached += reachedCounts[w]
+		tp = wr.PhaseStart()
+		if s.bar.wait() {
+			s.advanceShared()
+		}
+		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
+		if s.bar.wait() {
+			s.stats.foldPhases(!s.done.Load())
+		}
+		wr.NextLevel()
+		if s.done.Load() {
+			ws.edges = myEdges
+			ws.reached = myReached
+			return
+		}
+		limit = s.limit
 	}
-	return &Result{
-		Parents:        parents,
-		Root:           root,
-		Reached:        reached + 1,
-		EdgesTraversed: edges,
-		Levels:         levels,
-		Duration:       time.Since(start),
-		Algorithm:      AlgSingleSocket,
-		Threads:        workers,
-		PerLevel:       perLevel,
-		Trace:          coll.Finish(),
-	}, nil
 }

@@ -59,10 +59,18 @@ func (q *ChunkQueue) Push(v uint32) {
 // is exhausted. The claimed elements are exclusively owned by the
 // caller.
 func (q *ChunkQueue) PopChunk(max int) []uint32 {
+	return q.PopChunkBounded(max, q.tail.Load())
+}
+
+// PopChunkBounded claims up to max elements whose index is below limit.
+// It is the primitive behind the monotone-queue BFS: one queue holds
+// every level of a search, producers append the next level past limit
+// while consumers pop the current level [head, limit), and the level
+// barrier advances limit. Returns nil once the window is exhausted.
+func (q *ChunkQueue) PopChunkBounded(max int, limit int64) []uint32 {
 	if max <= 0 {
 		return nil
 	}
-	limit := q.tail.Load()
 	for {
 		h := q.head.Load()
 		if h >= limit {
@@ -76,6 +84,20 @@ func (q *ChunkQueue) PopChunk(max int) []uint32 {
 			return q.buf[h:end]
 		}
 	}
+}
+
+// SkipTo positions the consume cursor at index h, abandoning anything
+// before it. The direction-optimizing BFS uses it after bottom-up
+// levels, which read the frontier by Window rather than by popping. It
+// must not race with PopChunk; the level barrier provides exclusion.
+func (q *ChunkQueue) SkipTo(h int64) {
+	q.head.Store(h)
+}
+
+// Window returns the pushed contents [lo, hi). Like Slice it aliases
+// the queue's buffer; it is the per-level view of a monotone queue.
+func (q *ChunkQueue) Window(lo, hi int64) []uint32 {
+	return q.buf[lo:hi]
 }
 
 // Len returns the number of unconsumed elements.

@@ -38,6 +38,15 @@ type SPSC struct {
 	// Approximate count of elements ever enqueued/dequeued, for stats.
 	enq atomic.Uint64
 	deq atomic.Uint64
+	// free is a stack of drained segments awaiting reuse, linked through
+	// their next pointers. The consumer pushes, the producer pops, so a
+	// long-lived queue reaches a steady state where levels of traffic
+	// recirculate the same segments instead of allocating — the property
+	// the amortized search session relies on for zero-alloc warm runs.
+	// The single-popper discipline makes the CAS loop ABA-free: nodes in
+	// the stack are never re-pushed while present, so the head can only
+	// return to an observed value via that same observer's pop.
+	free atomic.Pointer[segment]
 }
 
 // NewSPSC returns an empty queue.
@@ -63,8 +72,9 @@ func (q *SPSC) Enqueue(v uint64) {
 	slot := &q.pseg.slots[idx]
 	if slot.Load() != 0 {
 		// Ring is full at this position: the consumer is at least a full
-		// segment behind. Link a fresh segment and continue there.
-		ns := &segment{}
+		// segment behind. Link a recycled (or fresh) segment and continue
+		// there.
+		ns := q.getSegment()
 		q.pseg.next.Store(ns)
 		q.pseg = ns
 		q.ptail = 0
@@ -101,8 +111,13 @@ func (q *SPSC) Dequeue() (v uint64, ok bool) {
 		// once next is visible a zero slot genuinely means drained.
 		x = slot.Load()
 		if x == 0 {
+			// The abandoned segment is fully drained (every written slot
+			// was zeroed by a dequeue) and no longer referenced by the
+			// producer, so it goes to the free stack for reuse.
+			old := q.cseg
 			q.cseg = next
 			q.chead = 0
+			q.putSegment(old)
 			slot = &q.cseg.slots[0]
 			x = slot.Load()
 			if x == 0 {
@@ -114,6 +129,34 @@ func (q *SPSC) Dequeue() (v uint64, ok bool) {
 	q.chead++
 	q.deq.Add(1)
 	return x - 1, true
+}
+
+// getSegment pops a drained segment off the free stack, or allocates
+// when the stack is empty. Producer-side only.
+func (q *SPSC) getSegment() *segment {
+	for {
+		s := q.free.Load()
+		if s == nil {
+			return &segment{}
+		}
+		if q.free.CompareAndSwap(s, s.next.Load()) {
+			s.next.Store(nil)
+			return s
+		}
+	}
+}
+
+// putSegment pushes a drained segment onto the free stack. Consumer-side
+// only; the segment must be fully drained (all slots zero) and
+// unreachable from the live chain.
+func (q *SPSC) putSegment(s *segment) {
+	for {
+		head := q.free.Load()
+		s.next.Store(head)
+		if q.free.CompareAndSwap(head, s) {
+			return
+		}
+	}
 }
 
 // Len returns the approximate number of queued elements. Exact when no

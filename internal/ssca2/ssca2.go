@@ -159,9 +159,18 @@ func Kernel3(wg *WeightedGraph, heavy []HeavyEdge, maxDepth int, opt core.Option
 		return nil, fmt.Errorf("ssca2: maxDepth %d must be >= 1", maxDepth)
 	}
 	opt.MaxLevels = maxDepth
+	// One search session serves every heavy edge: K3 is exactly the
+	// repeated-bounded-search workload the session amortizes, and the
+	// depth bound keeps each search's touched set — and therefore its
+	// reset — small.
+	searcher, err := core.NewSearcher(wg.Graph, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer searcher.Close()
 	out := make([]Subgraph, 0, len(heavy))
 	for _, e := range heavy {
-		res, err := core.BFS(wg.Graph, e.Dst, opt)
+		res, err := searcher.BFS(e.Dst)
 		if err != nil {
 			return nil, err
 		}

@@ -149,9 +149,39 @@ var (
 	Graph500Params  = gen.Graph500Params
 )
 
-// BFS explores g from root and returns the breadth-first tree.
+// BFS explores g from root and returns the breadth-first tree. Each
+// call sets up and tears down a one-shot search session; callers
+// issuing repeated searches over one graph should hold a Searcher
+// instead and amortize the setup.
 func BFS(g *Graph, root Vertex, opt Options) (*Result, error) {
 	return core.BFS(g, root, opt)
+}
+
+// Searcher is a reusable BFS session: a persistent worker pool plus
+// pooled per-search state sized to the bound graph, giving warm
+// searches zero per-search setup allocations and an O(touched) reset
+// instead of an O(n) reinitialization. Create one with NewSearcher,
+// run queries with Searcher.BFS or Searcher.Search, release the pool
+// with Close. A Searcher serves one search at a time; use one per
+// concurrent query stream.
+type Searcher = core.Searcher
+
+// Query selects per-search overrides (algorithm tier, depth bound) on
+// a Searcher; the zero value reruns the session's configuration.
+type Query = core.Query
+
+// NewSearcher builds a reusable search session over g. Options selects
+// the tier and tuning knobs exactly as for BFS:
+//
+//	s, err := mcbfs.NewSearcher(g, mcbfs.Options{})
+//	if err != nil { ... }
+//	defer s.Close()
+//	for _, root := range roots {
+//		res, err := s.BFS(root)
+//		...
+//	}
+func NewSearcher(g *Graph, opt Options) (*Searcher, error) {
+	return core.NewSearcher(g, opt)
 }
 
 // ValidateTree checks that parents encodes a correct BFS tree of g

@@ -165,3 +165,36 @@ func TestPublicAPIUnreachedMarkers(t *testing.T) {
 		t.Error("unreached vertex depth not NoDepth")
 	}
 }
+
+// TestPublicAPISearcher exercises the amortized session surface: one
+// Searcher answering repeated queries, with per-query overrides, under
+// the race detector when CI runs this package with -race.
+func TestPublicAPISearcher(t *testing.T) {
+	g, err := mcbfs.UniformGraph(5_000, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mcbfs.NewSearcher(g, mcbfs.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, root := range []mcbfs.Vertex{0, 4_999, 123, 0} {
+		res, err := s.BFS(root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if err := mcbfs.ValidateTree(g, root, res.Parents); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+	res, err := s.Search(0, mcbfs.Query{Algorithm: mcbfs.AlgSequential, MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxLevels=1 expands only the root's level: root plus its direct
+	// neighbours are discovered.
+	if res.Levels != 1 || res.Reached < 1 || res.Reached > 9 {
+		t.Errorf("MaxLevels=1 query: %d levels, %d reached", res.Levels, res.Reached)
+	}
+}
