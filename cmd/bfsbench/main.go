@@ -18,6 +18,7 @@
 //	bfsbench -list                        # list experiment ids
 //	bfsbench -trace out.json -breakdown   # one traced BFS, Chrome trace + phase table
 //	bfsbench -searches 64 -scale 20       # repeated searches on one session, cold vs warm
+//	bfsbench -searches 256 -clients 8     # concurrent clients over a Searcher pool: qps + p50/p99
 //	bfsbench -experiment all -pprof :6060 # live pprof/expvar while experiments run
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for
@@ -46,6 +47,8 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		short     = flag.Bool("short", false, "shrink measured runs (CI-friendly)")
 		searches  = flag.Int("searches", 0, "run N back-to-back searches on one amortized session and report queries/sec (cold vs warm)")
+		clients   = flag.Int("clients", 1, "with -searches: issue the N queries from M concurrent clients through a Searcher pool, reporting queries/sec and p50/p99 latency")
+		poolSize  = flag.Int("pool", 0, "with -clients: number of pooled Searchers (0 = GOMAXPROCS/2 capped at -clients)")
 		traceOut  = flag.String("trace", "", "run one traced BFS and write a Chrome trace-event JSON file (view in Perfetto)")
 		breakdown = flag.Bool("breakdown", false, "run one traced BFS and print its per-level phase breakdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
@@ -131,7 +134,11 @@ func main() {
 	}
 
 	if *searches > 0 {
-		if err := runSearches(out, cfg, *searches); err != nil {
+		if *clients > 1 {
+			if err := runClientSearches(out, cfg, *searches, *clients, *poolSize); err != nil {
+				fatal("bfsbench: searches: %v\n", err)
+			}
+		} else if err := runSearches(out, cfg, *searches); err != nil {
 			fatal("bfsbench: searches: %v\n", err)
 		}
 	}

@@ -1,15 +1,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"mcbfs"
 	"mcbfs/internal/core"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/rng"
 	"mcbfs/internal/stats"
 )
+
+// sampleRoots draws exactly want roots with non-zero degree,
+// Graph500-style, cycling the distinct sample when the component
+// structure offers fewer than requested (an earlier version silently
+// ran fewer queries instead). The second return is the number of
+// distinct roots sampled; zero distinct roots is the caller's error.
+func sampleRoots(g *graph.Graph, want int, seed uint64) ([]graph.Vertex, int) {
+	r := rng.New(seed ^ 0x5ea5c)
+	roots := make([]graph.Vertex, 0, want)
+	for attempts := 0; len(roots) < want && attempts < 100*want; attempts++ {
+		v := graph.Vertex(r.Intn(g.NumVertices()))
+		if g.Degree(v) > 0 {
+			roots = append(roots, v)
+		}
+	}
+	distinct := len(roots)
+	for i := 0; len(roots) < want && distinct > 0; i++ {
+		roots = append(roots, roots[i%distinct])
+	}
+	return roots, distinct
+}
 
 // runSearches exercises the amortized-search-session path: one Searcher
 // over one R-MAT graph, issuing many queries back to back. It reports
@@ -28,18 +55,13 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 		return err
 	}
 
-	// Sample roots with non-zero degree, Graph500-style, reusing roots
-	// cyclically if the component structure offers fewer than requested.
-	r := rng.New(cfg.Seed ^ 0x5ea5c)
-	roots := make([]graph.Vertex, 0, searches)
-	for attempts := 0; len(roots) < searches && attempts < 100*searches; attempts++ {
-		v := graph.Vertex(r.Intn(g.NumVertices()))
-		if g.Degree(v) > 0 {
-			roots = append(roots, v)
-		}
-	}
-	if len(roots) == 0 {
+	roots, distinct := sampleRoots(g, searches, cfg.Seed)
+	if distinct == 0 {
 		return fmt.Errorf("no non-isolated roots at scale %d", log2(n))
+	}
+	if distinct < searches {
+		fmt.Fprintf(w, "note: only %d distinct non-isolated roots sampled; cycling them to %d queries\n",
+			distinct, searches)
 	}
 
 	setupStart := time.Now()
@@ -82,6 +104,111 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 			stats.FormatRate(stats.Quantile(warm, 1)))
 	}
 	return nil
+}
+
+// runClientSearches is the concurrent-serving benchmark: M client
+// goroutines issue the same total number of queries against an
+// mcbfs.Pool of warm Searchers, reporting end-to-end queries/sec and
+// the p50/p99 query latency under contention — the serving-shape
+// figure of merit, where admission waits and reset costs show up in
+// tail latency rather than in single-search TEPS.
+func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize int) error {
+	if searches < 1 {
+		return fmt.Errorf("searches %d must be >= 1", searches)
+	}
+	if clients < 1 {
+		return fmt.Errorf("clients %d must be >= 1", clients)
+	}
+	n := cfg.measuredN()
+	g, err := measuredRMAT(log2(n), int64(n)*16, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	roots, distinct := sampleRoots(g, searches, cfg.Seed)
+	if distinct == 0 {
+		return fmt.Errorf("no non-isolated roots at scale %d", log2(n))
+	}
+
+	if poolSize <= 0 {
+		// Default: split the host's parallelism across a handful of
+		// Searchers so clients actually contend for sessions.
+		poolSize = runtime.GOMAXPROCS(0) / 2
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		if poolSize > clients {
+			poolSize = clients
+		}
+	}
+	threads := runtime.GOMAXPROCS(0) / poolSize
+	if threads < 1 {
+		threads = 1
+	}
+
+	var serving obs.Metrics
+	setupStart := time.Now()
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:    poolSize,
+		Search:  mcbfs.Options{Threads: threads, Tracer: cfg.Tracer},
+		Metrics: &serving,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	setup := time.Since(setupStart)
+
+	var (
+		next      atomic.Int64
+		firstErr  atomic.Value
+		latencies = make([][]float64, clients)
+		wg        sync.WaitGroup
+	)
+	ctx := context.Background()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(roots)) {
+					return
+				}
+				t0 := time.Now()
+				if _, err := pool.Query(ctx, roots[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(t0).Seconds())
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	all := make([]float64, 0, len(roots))
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	snap := serving.Snapshot()
+	fmt.Fprintf(w, "clients=%d pool=%d threads/searcher=%d scale=%d: %.1f queries/sec over %d queries (pool setup %v)\n",
+		clients, poolSize, threads, log2(n),
+		float64(len(all))/elapsed.Seconds(), len(all), setup.Round(time.Microsecond))
+	fmt.Fprintf(w, "  latency: p50 %v  p99 %v  max %v\n",
+		quantileDur(all, 0.5), quantileDur(all, 0.99), quantileDur(all, 1))
+	fmt.Fprintf(w, "  serving: cancelled=%d shed=%d recovered=%d\n",
+		snap["cancelled"], snap["shed"], snap["recovered"])
+	return nil
+}
+
+// quantileDur renders the q-quantile of latency seconds as a rounded
+// duration.
+func quantileDur(lats []float64, q float64) time.Duration {
+	return time.Duration(stats.Quantile(lats, q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 // log2 returns floor(log2(n)) for n >= 1.

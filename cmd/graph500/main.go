@@ -26,6 +26,7 @@ func main() {
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 2010, "generator seed")
 		skipVal    = flag.Bool("skip-validation", false, "skip per-root tree validation")
+		deadline   = flag.Duration("deadline", 0, "per-root search deadline; roots exceeding it are abandoned and reported, not failed (0 = none)")
 		verbose    = flag.Bool("v", false, "print per-root TEPS")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		Seed:           *seed,
 		Options:        core.Options{Threads: *threads},
 		SkipValidation: *skipVal,
+		SearchTimeout:  *deadline,
 	}
 	res, err := graph500.Run(spec)
 	if err != nil {

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcbfs/internal/gen"
+	"mcbfs/internal/graph"
+)
+
+// countdownCtx is a deterministic cancellation source: Err reports
+// context.Canceled starting with the (after+1)-th call. SearchContext
+// itself polls Err once on entry and the search polls it at every level
+// barrier (plus worker chunk checkpoints), so small values of after
+// cancel within the first few levels without any timing dependence.
+type countdownCtx struct {
+	after int64
+	calls atomic.Int64
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// chainPlusIsland builds the reset-property graph: a 1000-vertex chain
+// (many levels, so mid-search cancellation lands inside it) plus the
+// disconnected edge 1000-1001 whose search exposes any state the
+// aborted search left behind.
+func chainPlusIsland(t *testing.T) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, 1000)
+	for i := 0; i < 999; i++ {
+		edges = append(edges, graph.Edge{Src: graph.Vertex(i), Dst: graph.Vertex(i + 1)})
+	}
+	edges = append(edges, graph.Edge{Src: 1000, Dst: 1001})
+	directed, err := graph.FromEdges(1002, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return directed.Undirected()
+}
+
+// expectPristineAfter runs the island search and checks the session sees
+// exactly pristine state: the two island vertices claimed, every other
+// parent back to NoParent. Any vertex the previous (aborted) search
+// claimed but failed to record on its touched list shows up here as a
+// stale parent.
+func expectPristineAfter(t *testing.T, s *Searcher, when string) {
+	t.Helper()
+	res, err := s.BFS(1000)
+	if err != nil {
+		t.Fatalf("%s: island search: %v", when, err)
+	}
+	if res.Reached != 2 {
+		t.Fatalf("%s: island search reached %d vertices, want 2", when, res.Reached)
+	}
+	for v, p := range res.Parents {
+		switch v {
+		case 1000, 1001:
+			if p != 1000 {
+				t.Fatalf("%s: island vertex %d has parent %d, want 1000", when, v, p)
+			}
+		default:
+			if p != NoParent {
+				t.Fatalf("%s: stale parent %d for vertex %d after aborted search", when, p, v)
+			}
+		}
+	}
+}
+
+// TestSearchContextPreCancelled checks the dead-on-arrival path: a
+// context that is already cancelled returns its error before any session
+// state is dirtied, and the session keeps answering exactly.
+func TestSearchContextPreCancelled(t *testing.T) {
+	g := chainPlusIsland(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, v := range sessionVariants {
+		t.Run(v.name, func(t *testing.T) {
+			s, err := NewSearcher(g, v.opt(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			res, err := s.SearchContext(ctx, 0, Query{})
+			if res != nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("pre-cancelled search: res=%v err=%v, want nil, context.Canceled", res, err)
+			}
+			expectPristineAfter(t, s, "after DOA search")
+			full, err := s.BFS(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expectSameTree(t, g, full, v.name != "hybrid")
+		})
+	}
+}
+
+// TestSearchContextCancelMidSearch is the satellite regression for the
+// partial-touch-set bug: cancel at several depths into the chain —
+// including right at level 0, where only the root's seeded parent entry
+// exists — then prove the next queries on the same session match a
+// fresh one exactly, for every tier.
+func TestSearchContextCancelMidSearch(t *testing.T) {
+	g := chainPlusIsland(t)
+	for _, v := range sessionVariants {
+		t.Run(v.name, func(t *testing.T) {
+			s, err := NewSearcher(g, v.opt(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			// after=1 admits the entry poll and cancels at the very first
+			// in-search poll; larger values land deeper into the chain.
+			for _, after := range []int64{1, 3, 16} {
+				ctx := &countdownCtx{after: after}
+				res, err := s.SearchContext(ctx, 0, Query{})
+				if res != nil {
+					t.Fatalf("after=%d: cancelled search returned a result", after)
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("after=%d: err = %v, want context.Canceled", after, err)
+				}
+				expectPristineAfter(t, s, "after mid-search cancel")
+				full, err := s.BFS(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expectSameTree(t, g, full, v.name != "hybrid")
+			}
+		})
+	}
+}
+
+// TestSearchContextPostCompletion checks that cancelling after a search
+// completed affects nothing: the returned Result stays valid and the
+// session keeps serving.
+func TestSearchContextPostCompletion(t *testing.T) {
+	g := chainPlusIsland(t)
+	s, err := NewSearcher(g, Options{Algorithm: AlgSingleSocket, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := s.SearchContext(ctx, 0, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if res.Reached != 1000 {
+		t.Fatalf("reached %d, want 1000", res.Reached)
+	}
+	if err := ValidateTree(g, 0, res.Parents); err != nil {
+		t.Fatalf("tree invalid after post-completion cancel: %v", err)
+	}
+	full, err := s.SearchContext(context.Background(), 0, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSameTree(t, g, full, true)
+}
+
+// TestSearchContextDeadlineBounded checks the wall-clock promise: a
+// deadline that fires mid-search unwinds promptly (well under the time
+// the full search would need), and the session then answers exactly.
+func TestSearchContextDeadlineBounded(t *testing.T) {
+	// A long chain maximizes levels: the uncancelled search crosses
+	// ~30000 level barriers, so a few-millisecond deadline is guaranteed
+	// to fire mid-search, and the barrier-level cancellation poll must
+	// unwind it in a handful of levels.
+	g := must(gen.Chain(30000)).Undirected()
+	s, err := NewSearcher(g, Options{Algorithm: AlgSingleSocket, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := s.SearchContext(ctx, 0, Query{})
+	elapsed := time.Since(start)
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline search: res=%v err=%v, want nil, context.DeadlineExceeded", res, err)
+	}
+	// Generous bound: detection happens within one level of the 2ms
+	// deadline, so anything near a second means the poll is broken.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled search took %v to unwind", elapsed)
+	}
+
+	full, err := s.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := run(t, g, 0, Options{Algorithm: AlgSequential, Threads: 1})
+	if full.Reached != ref.Reached || full.Levels != ref.Levels {
+		t.Fatalf("after deadline abort: reached %d levels %d, fresh BFS %d/%d",
+			full.Reached, full.Levels, ref.Reached, ref.Levels)
+	}
+}
+
+// TestSearcherCloseJoinsWorkers is the Close-join regression (the
+// PinThreads unpin race): churn pinned sessions back to back and check
+// no pool goroutine outlives its Close.
+func TestSearcherCloseJoinsWorkers(t *testing.T) {
+	g := must(gen.Uniform(5000, 8, 3))
+	base := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		s, err := NewSearcher(g, Options{Algorithm: AlgSingleSocket, Threads: 4, PinThreads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.BFS(graph.Vertex(i * 97 % 5000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close joins: every worker goroutine (and its deferred unpin)
+		// has finished before the next, equally pinned session starts.
+		if n := runtime.NumGoroutine(); n > base {
+			t.Fatalf("iteration %d: %d goroutines alive after Close, started with %d", i, n, base)
+		}
+	}
+}

@@ -68,6 +68,7 @@ func (s *Searcher) hybridWorker(w int) {
 	}
 
 	prev, limit := s.prevLimit, s.limit
+	checkpoints := 0
 	for {
 		var stats LevelStats
 		if s.bottomUp.Load() {
@@ -89,9 +90,17 @@ func (s *Searcher) hybridWorker(w int) {
 			s.bar.wait()
 			wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
-			// Bottom-up sweep over this worker's unvisited range.
+			// Bottom-up sweep over this worker's unvisited range. The
+			// cancellation checkpoint sits off the per-vertex path (the
+			// sweep's selling point is no atomics); an abort skips the
+			// rest of the range but still runs the flush, barrier and
+			// frontier-clear passes below, so no stale frontier bit or
+			// unqueued claim survives into the next search.
 			tp = wr.PhaseStart()
 			for v := myLo; v < myHi; v++ {
+				if v&4095 == 0 && s.aborted(&checkpoints) {
+					break
+				}
 				if s.visited.Get(v) {
 					continue
 				}
@@ -131,9 +140,13 @@ func (s *Searcher) hybridWorker(w int) {
 			}
 			wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
 		} else {
-			// Top-down: identical to the single-socket algorithm.
+			// Top-down: identical to the single-socket algorithm,
+			// including its per-chunk cancellation checkpoint.
 			tp := wr.PhaseStart()
 			for {
+				if s.aborted(&checkpoints) {
+					break
+				}
 				chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
 				if chunk == nil {
 					break
@@ -191,6 +204,7 @@ func (s *Searcher) hybridWorker(w int) {
 // it), realign the consume cursor, advance the window, and apply the
 // alpha/beta direction switch.
 func (s *Searcher) advanceHybrid() {
+	s.checkCancelAtBarrier() // only ever sets done; bookkeeping proceeds
 	if s.bottomUp.Load() {
 		// In bottom-up mode the frontier counter reflects the vertices
 		// expanded, which is the current window.

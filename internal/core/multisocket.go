@@ -67,12 +67,20 @@ func (s *Searcher) multiSocketWorker(w int) {
 		}
 	}
 
+	checkpoints := 0
 	for {
 		var stats LevelStats
 
 		// Phase 1: expand the local frontier.
 		tp := wr.PhaseStart()
 		for {
+			// Cancellation checkpoint. Locally claimed vertices are in
+			// local/myQ and survive into the touched list; remote tuples
+			// are unclaimed by construction (the receiving socket claims
+			// them), so the abort path may drop them.
+			if s.aborted(&checkpoints) {
+				break
+			}
 			chunk := myQ.PopChunkBounded(o.ChunkSize, limit)
 			if chunk == nil {
 				break
@@ -100,9 +108,16 @@ func (s *Searcher) multiSocketWorker(w int) {
 		// End-of-phase flush of the partial batches, skipping empty
 		// ones: in late levels most destinations have nothing pending,
 		// and an empty flush is pure overhead — a per-socket call per
-		// worker per level and zero-length tracer-hook noise.
+		// worker per level and zero-length tracer-hook noise. On abort
+		// the batches are dropped rather than sent: their tuples were
+		// never claimed anywhere, and phase 2 discards in-flight ones.
+		cancelled := s.cancel.Load()
 		for sck := range remote {
 			if len(remote[sck]) == 0 {
+				continue
+			}
+			if cancelled {
+				remote[sck] = remote[sck][:0]
 				continue
 			}
 			s.channels[sck].SendBatch(remote[sck])
@@ -117,15 +132,25 @@ func (s *Searcher) multiSocketWorker(w int) {
 		s.bar.wait()
 		wr.PhaseEnd(obs.PhaseBarrierWait, tp)
 
-		// Phase 2: drain this socket's channel.
+		// Phase 2: drain this socket's channel. The drain must run even
+		// on abort — a tuple left in a channel would be claimed by the
+		// *next* search and corrupt its tree — but an aborting worker
+		// discards instead of claiming, keeping the unwind bounded by
+		// what was already sent. Workers of one socket may mix the two
+		// modes during an abort race; both leave the channel empty and
+		// every claim on the touched list.
 		tp = wr.PhaseStart()
-		for {
-			got := s.channels[this].ReceiveBatch(recvBuf)
-			if got == 0 {
-				break
-			}
-			for _, t := range recvBuf[:got] {
-				claim(t.V, t.Parent, &stats)
+		if s.cancel.Load() {
+			s.channels[this].DiscardAll()
+		} else {
+			for {
+				got := s.channels[this].ReceiveBatch(recvBuf)
+				if got == 0 {
+					break
+				}
+				for _, t := range recvBuf[:got] {
+					claim(t.V, t.Parent, &stats)
+				}
 			}
 		}
 		myQ.PushBatch(local)
@@ -157,6 +182,7 @@ func (s *Searcher) multiSocketWorker(w int) {
 // sends are in flight between the barriers, so the per-level deltas are
 // exact), advance every socket's queue window, decide termination.
 func (s *Searcher) advanceMulti() {
+	s.checkCancelAtBarrier() // only ever sets done; bookkeeping proceeds
 	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
 	s.levelStart = time.Now()
 	if s.chanStats && s.coll != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,9 +109,12 @@ type Searcher struct {
 	// gate hands jobs between the caller and the pool (workers+1
 	// parties, used alternately as launch and finish). The gate's mutex
 	// is what publishes the caller's pre-launch writes to the workers
-	// and the workers' finish writes back.
+	// and the workers' finish writes back. wg joins the pool goroutines
+	// in Close (each worker's deferred unpin must complete before Close
+	// returns, or it could race the pinning of a successor's workers).
 	bar    *barrier
 	gate   *barrier
+	wg     sync.WaitGroup
 	closed bool
 
 	// Per-search job description: written by Search before the launch
@@ -118,6 +123,16 @@ type Searcher struct {
 	alg       Algorithm
 	maxLevels int
 	coll      *obs.Collector
+
+	// ctx is the current search's context; cancel is the cross-worker
+	// abort flag, set by whichever party first observes ctx.Err() != nil
+	// (a worker at a chunk-pop checkpoint, or the level coordinator at
+	// the barrier). Workers that see it stop expanding, flush what they
+	// claimed, and proceed through the normal level protocol, so the
+	// monotone queues still hold exactly the touched set when the search
+	// unwinds.
+	ctx    context.Context
+	cancel atomic.Bool
 
 	// Level-coordination state: written by the coordinator elected at
 	// the first level barrier, read by workers after the second (done
@@ -179,6 +194,7 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 	if err := s.ensureTier(o.Algorithm); err != nil {
 		return nil, err
 	}
+	s.wg.Add(s.workers)
 	for w := 0; w < s.workers; w++ {
 		go s.workerLoop(w)
 	}
@@ -253,6 +269,9 @@ func (s *Searcher) ensureTier(alg Algorithm) error {
 // session's lifetime when PinThreads is set, then parked on the gate
 // between jobs.
 func (s *Searcher) workerLoop(w int) {
+	// Registered first so it runs last: the deferred unpin below must
+	// have restored the OS thread before Close's join observes the exit.
+	defer s.wg.Done()
 	if s.o.PinThreads {
 		if unpin, err := affinity.PinToCPU(w); err == nil {
 			defer unpin()
@@ -362,17 +381,77 @@ func (s *Searcher) BFS(root graph.Vertex) (*Result, error) {
 	return s.Search(root, Query{})
 }
 
+// cancelCheckMask throttles the direct context poll: workers re-read
+// ctx.Err() once every cancelCheckMask+1 checkpoints (a checkpoint is
+// one claimed chunk, or one frontier vertex in the sequential tier);
+// between polls the only cost is one atomic load of the shared flag.
+// With the default ChunkSize that bounds the work between context
+// observations to a few thousand vertices per worker.
+const cancelCheckMask = 63
+
+// aborted is the per-checkpoint cancellation probe, called from the hot
+// loops of every tier with a worker-local checkpoint counter. It is
+// two-level: the cross-worker flag on every call (so one worker's
+// observation propagates at the next checkpoint), the context itself
+// only every cancelCheckMask+1 calls.
+func (s *Searcher) aborted(n *int) bool {
+	if s.cancel.Load() {
+		return true
+	}
+	*n++
+	if *n&cancelCheckMask != 0 {
+		return false
+	}
+	if s.ctx.Err() != nil {
+		s.cancel.Store(true)
+		return true
+	}
+	return false
+}
+
+// checkCancelAtBarrier is the level coordinator's probe, run at every
+// level transition: levels too small to trip a worker checkpoint still
+// observe cancellation within one level. It returns true — after
+// setting both flags — when the search must unwind.
+func (s *Searcher) checkCancelAtBarrier() bool {
+	if s.cancel.Load() || s.ctx.Err() != nil {
+		s.cancel.Store(true)
+		s.done.Store(true)
+		return true
+	}
+	return false
+}
+
 // Search runs one BFS from root, reusing the session's pooled state.
 // The returned Result — including Parents, PerLevel and Trace — remains
 // valid only until the next Search or Close on this Searcher; copy what
 // must outlive it. Search must not be called concurrently with itself
 // or Close.
 func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
+	return s.SearchContext(context.Background(), root, q)
+}
+
+// SearchContext is Search with cancellation: when ctx is cancelled or
+// its deadline passes, the search unwinds at the next cancellation
+// point (a level barrier, or a chunk-pop checkpoint inside a level) and
+// returns ctx.Err(). The abort leaves the session consistent — every
+// vertex the aborted search claimed is on its touched list, so the next
+// Search on this Searcher pays the usual O(touched) reset and returns
+// exactly what a fresh session would. An uncancellable background
+// context adds no per-search allocation or synchronization beyond
+// Search.
+func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query) (*Result, error) {
 	if s.closed {
 		return nil, errors.New("core: Search on a closed Searcher")
 	}
 	if int(root) >= s.n {
 		return nil, fmt.Errorf("core: root %d out of range [0,%d)", root, s.n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // dead on arrival: no state dirtied
 	}
 	alg := q.Algorithm
 	if alg == AlgAuto {
@@ -389,6 +468,15 @@ func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
 	}
 
 	s.resetState()
+	// The session is dirty from here on. Recording that before any
+	// parent/bitmap write (rather than after the search completes, as
+	// an earlier version did) means an abort on any path below still
+	// triggers a full reset of the partial state on the next query —
+	// including the root's seeded parent entry, which is why the queue
+	// push below precedes the s.parents[root] write.
+	s.hasTouched = true
+	s.ctx = ctx
+	s.cancel.Store(false)
 
 	tierWorkers := s.workers
 	tierSockets := 1
@@ -411,17 +499,14 @@ func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
 
 	start := time.Now()
 	s.levelStart = start
-	s.parents[root] = uint32(root)
 	var edges, reached int64
 	if alg == AlgSequential {
 		// The serial baseline runs inline on the caller's goroutine.
-		edges, reached = s.sequentialSearch(root)
+		s.q.Push(uint32(root))
+		s.parents[root] = uint32(root)
+		edges, reached = s.sequentialSearch()
 	} else {
 		s.stats.arm(s.o.Instrument, s.coll, s.slots)
-		switch alg {
-		case AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing:
-			s.visited.Set(int(root))
-		}
 		if alg == AlgMultiSocket {
 			s.qs[s.part.DetermineSocket(uint32(root))].Push(uint32(root))
 			for i := range s.sockLimit {
@@ -441,12 +526,22 @@ func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
 			s.limit = 1
 			s.bottomUp.Store(false)
 		}
+		s.parents[root] = uint32(root)
+		switch alg {
+		case AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing:
+			s.visited.Set(int(root))
+		}
 		s.runJob(jobSearch)
 		for w := range s.ws {
 			edges += s.ws[w].edges
 			reached += s.ws[w].reached
 		}
 		reached++ // workers count discoveries; the root is seeded
+	}
+	if s.cancel.Load() {
+		// The partial tree is not a BFS tree of anything; expose only
+		// the error. State reset happens lazily on the next query.
+		return nil, ctx.Err()
 	}
 
 	s.res = Result{
@@ -465,14 +560,18 @@ func (s *Searcher) Search(root graph.Vertex, q Query) (*Result, error) {
 	return &s.res, nil
 }
 
-// Close shuts down the worker pool. Results returned earlier (and their
-// Parents) remain readable; further Search calls fail. Close is
-// idempotent but must not run concurrently with Search.
+// Close shuts down the worker pool and joins it: when Close returns,
+// every pool goroutine has exited and (under PinThreads) restored its
+// OS thread's affinity, so a successor Searcher's workers cannot race
+// the unpinning. Results returned earlier (and their Parents) remain
+// readable; further Search calls fail. Close is idempotent but must not
+// run concurrently with Search.
 func (s *Searcher) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
 	s.gate.wait() // release the pool; workers observe closed and exit
+	s.wg.Wait()   // join: unpin deferreds have run when this returns
 	return nil
 }

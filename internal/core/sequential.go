@@ -15,19 +15,26 @@ import (
 // with the parallel tiers so that speedup numbers compare identical
 // work, and feeds the same observability layer (one worker, local-scan
 // phase only).
-func (s *Searcher) sequentialSearch(root graph.Vertex) (edges, reached int64) {
+func (s *Searcher) sequentialSearch() (edges, reached int64) {
 	g, q := s.g, s.q
 	wr := s.coll.Worker(0)
 	observe := s.o.Instrument || s.coll != nil
 
-	q.Push(uint32(root))
+	// The root is already on the queue, seeded by SearchContext before
+	// its parent entry was written so an abort cannot strand it.
 	reached = 1
+	checkpoints := 0
 	prev, limit := int64(0), int64(1)
 	for limit > prev && (s.maxLevels == 0 || s.levels < s.maxLevels) {
 		var stats LevelStats
 		levelStart := time.Now()
 		tp := wr.PhaseStart()
 		for _, u := range q.Window(prev, limit) {
+			// Every claim is pushed before the next checkpoint, so an
+			// abort here leaves the queue holding the full touched set.
+			if s.aborted(&checkpoints) {
+				return edges, reached
+			}
 			nbrs := g.Neighbors(graph.Vertex(u))
 			edges += int64(len(nbrs))
 			if observe {
@@ -53,6 +60,12 @@ func (s *Searcher) sequentialSearch(root graph.Vertex) (edges, reached int64) {
 			s.perLevel = append(s.perLevel, stats)
 		}
 		prev, limit = limit, int64(q.Size())
+		// Level boundary: same cancellation point as the parallel
+		// tiers' coordinator, so levels too small to trip a vertex
+		// checkpoint still observe the context once per level.
+		if s.checkCancelAtBarrier() {
+			return edges, reached
+		}
 		if s.coll != nil {
 			more := limit > prev && (s.maxLevels == 0 || s.levels < s.maxLevels)
 			s.coll.EndLevel(levelStart.Sub(s.coll.Origin()), stats.Duration, obs.Counters{

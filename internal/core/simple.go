@@ -32,11 +32,19 @@ func (s *Searcher) simpleWorker(w int) {
 	// loop never writes a cache line another worker's totals live on.
 	var myEdges, myReached int64
 	local := ws.local[:0]
+	checkpoints := 0
 	limit := s.limit
 	for {
 		var stats LevelStats
 		tp := wr.PhaseStart()
 		for {
+			// Cancellation checkpoint: on abort stop expanding and fall
+			// through to the flush and barriers below — every CAS-claimed
+			// vertex is already in local or the queue, so the unwound
+			// session's touched list stays complete.
+			if s.aborted(&checkpoints) {
+				break
+			}
 			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
 			if chunk == nil {
 				break
@@ -92,6 +100,10 @@ func (s *Searcher) simpleWorker(w int) {
 // published to the other workers by the second): fold the level's
 // stats, advance the monotone window, decide termination.
 func (s *Searcher) advanceShared() {
+	// A cancelled search folds and advances normally — the bookkeeping
+	// below only ever sets done, so the abort decision stands and the
+	// obs layer still sees a coherent final level.
+	s.checkCancelAtBarrier()
 	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
 	s.levelStart = time.Now()
 	old := s.limit

@@ -33,6 +33,7 @@ func (s *Searcher) singleSocketWorker(w int) {
 	var myEdges, myReached int64
 	local := ws.local[:0]
 	probeHit := ws.probeHit
+	checkpoints := 0
 	limit := s.limit
 	// claim runs the atomic half of the double-checked protocol.
 	claim := func(v, u uint32, stats *LevelStats) {
@@ -51,6 +52,11 @@ func (s *Searcher) singleSocketWorker(w int) {
 		var stats LevelStats
 		tp := wr.PhaseStart()
 		for {
+			// Cancellation checkpoint; the flush below still runs, so
+			// aborting cannot strand a claimed vertex outside the queue.
+			if s.aborted(&checkpoints) {
+				break
+			}
 			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
 			if chunk == nil {
 				break

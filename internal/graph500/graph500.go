@@ -19,6 +19,7 @@
 package graph500
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -45,6 +46,11 @@ type Spec struct {
 	// SkipValidation skips per-root tree validation (validation is
 	// O(n+m) per root and dominates small-scale runs).
 	SkipValidation bool
+	// SearchTimeout, when positive, bounds each root's BFS: a search
+	// that exceeds it is abandoned via context cancellation, counted in
+	// Result.RootsTimedOut, and excluded from the TEPS statistics. The
+	// session stays warm — the next root pays only the usual reset.
+	SearchTimeout time.Duration
 }
 
 // DefaultSpec returns the standard protocol at the given scale: edge
@@ -75,6 +81,10 @@ type Result struct {
 	// RootsRun is the number of BFS runs (may be below Spec.Roots if
 	// the graph has fewer non-isolated vertices).
 	RootsRun int
+	// RootsTimedOut is the number of roots abandoned at
+	// Spec.SearchTimeout; their partial searches contribute no TEPS
+	// sample.
+	RootsTimedOut int
 	// TEPS holds one traversed-edges-per-second value per root.
 	TEPS []float64
 	// HarmonicMeanTEPS is the Graph500 headline metric.
@@ -169,11 +179,20 @@ func Run(spec Spec) (*Result, error) {
 	setup := time.Since(setupStart)
 
 	var reachedSum float64
+	completed := 0
 	for i, root := range roots {
-		bfsRes, err := searcher.BFS(root)
+		bfsRes, err := runRoot(searcher, root, spec.SearchTimeout)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The deadline knob: a pathological root is abandoned
+			// mid-search; the session's O(touched) reset makes the next
+			// root's tree exact regardless.
+			res.RootsTimedOut++
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
+		completed++
 		res.TEPS = append(res.TEPS, bfsRes.EdgesPerSecond())
 		reachedSum += float64(bfsRes.Reached)
 		if i == 0 {
@@ -191,7 +210,10 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 	res.RootsRun = len(roots)
-	res.MeanReached = reachedSum / float64(len(roots))
+	if completed == 0 {
+		return res, fmt.Errorf("graph500: all %d roots exceeded the %v search timeout", len(roots), spec.SearchTimeout)
+	}
+	res.MeanReached = reachedSum / float64(completed)
 	res.HarmonicMeanTEPS = stats.HarmonicMean(res.TEPS)
 	if len(res.TEPS) > 1 {
 		res.WarmHarmonicMeanTEPS = stats.HarmonicMean(res.TEPS[1:])
@@ -200,6 +222,17 @@ func Run(spec Spec) (*Result, error) {
 	res.MedianTEPS = stats.Quantile(res.TEPS, 0.5)
 	res.MaxTEPS = stats.Quantile(res.TEPS, 1)
 	return res, nil
+}
+
+// runRoot runs one root's BFS, deadline-bounded when timeout is
+// positive.
+func runRoot(s *core.Searcher, root graph.Vertex, timeout time.Duration) (*core.Result, error) {
+	if timeout <= 0 {
+		return s.BFS(root)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.SearchContext(ctx, root, core.Query{})
 }
 
 // ConstructionEPS returns the kernel-1 rate: directed CSR edge slots
@@ -220,6 +253,9 @@ func (r *Result) String() string {
 	if r.WarmHarmonicMeanTEPS > 0 {
 		coldWarm = fmt.Sprintf(", cold %s / warm %s",
 			stats.FormatRate(r.ColdTEPS), stats.FormatRate(r.WarmHarmonicMeanTEPS))
+	}
+	if r.RootsTimedOut > 0 {
+		coldWarm += fmt.Sprintf(", %d roots timed out", r.RootsTimedOut)
 	}
 	return fmt.Sprintf(
 		"graph500 scale=%d edgefactor=%d: %s harmonic-mean TEPS over %d roots (min %s, median %s, max %s)%s, construction %v (generate %v + build %v, %s construction rate), validated=%v",

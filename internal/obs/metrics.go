@@ -28,6 +28,15 @@ type Metrics struct {
 	BarrierWaitNs atomic.Int64
 	LocalScanNs   atomic.Int64
 	QueueDrainNs  atomic.Int64
+	// Cancelled counts queries that returned early on context
+	// cancellation or deadline expiry; Shed counts queries refused at
+	// admission because the pool stayed saturated past their deadline;
+	// Recovered counts panicking queries whose Searcher was discarded
+	// and rebuilt. These are fed by the serving layer (mcbfs.Pool)
+	// rather than by the Tracer callbacks below.
+	Cancelled atomic.Int64
+	Shed      atomic.Int64
+	Recovered atomic.Int64
 }
 
 // Snapshot returns the current counter values keyed by name.
@@ -44,6 +53,9 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"barrierWaitNs": m.BarrierWaitNs.Load(),
 		"localScanNs":   m.LocalScanNs.Load(),
 		"queueDrainNs":  m.QueueDrainNs.Load(),
+		"cancelled":     m.Cancelled.Load(),
+		"shed":          m.Shed.Load(),
+		"recovered":     m.Recovered.Load(),
 	}
 }
 

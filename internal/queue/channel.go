@@ -147,5 +147,25 @@ func (c *Channel) ReceiveBatch(buf []Tuple) int {
 	return n
 }
 
+// DiscardAll dequeues and drops everything currently in the channel,
+// returning the number of tuples discarded. It is the abort path of a
+// cancelled multi-socket search: in-flight tuples are unclaimed by
+// construction, so dropping them (rather than claiming them into the
+// touched set) bounds the unwind without leaking state into the next
+// search. Safe to call concurrently with ReceiveBatch — both ends
+// drain under the consumer lock.
+func (c *Channel) DiscardAll() int {
+	c.consLock.Lock()
+	n := 0
+	for {
+		if _, ok := c.q.Dequeue(); !ok {
+			break
+		}
+		n++
+	}
+	c.consLock.Unlock()
+	return n
+}
+
 // Len returns the approximate number of queued tuples.
 func (c *Channel) Len() int { return c.q.Len() }

@@ -161,9 +161,11 @@ func BFS(g *Graph, root Vertex, opt Options) (*Result, error) {
 // pooled per-search state sized to the bound graph, giving warm
 // searches zero per-search setup allocations and an O(touched) reset
 // instead of an O(n) reinitialization. Create one with NewSearcher,
-// run queries with Searcher.BFS or Searcher.Search, release the pool
-// with Close. A Searcher serves one search at a time; use one per
-// concurrent query stream.
+// run queries with Searcher.BFS, Searcher.Search or — for cancellable
+// / deadline-bounded queries — Searcher.SearchContext, release the
+// pool with Close. A Searcher serves one search at a time; use one per
+// concurrent query stream, or a Pool to multiplex many callers over a
+// fixed set of warm sessions.
 type Searcher = core.Searcher
 
 // Query selects per-search overrides (algorithm tier, depth bound) on

@@ -1,0 +1,321 @@
+package mcbfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mcbfs/internal/core"
+)
+
+// Pool errors. ErrPoolSaturated wraps the context error that expired
+// while waiting, so errors.Is matches both it and
+// context.DeadlineExceeded / context.Canceled.
+var (
+	// ErrPoolSaturated is returned by Query when every Searcher stayed
+	// borrowed until the caller's context expired — the admission-control
+	// signal to shed load.
+	ErrPoolSaturated = errors.New("mcbfs: pool saturated")
+	// ErrPoolClosed is returned by Query once Close has begun.
+	ErrPoolClosed = errors.New("mcbfs: pool closed")
+)
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Size is the number of warm Searchers held by the pool, i.e. the
+	// maximum number of queries in flight at once; further queries wait
+	// (bounded by their context) and are shed with ErrPoolSaturated when
+	// the wait outlives the context. 0 sizes the pool so that the
+	// Searchers' combined worker count roughly matches GOMAXPROCS:
+	// max(1, GOMAXPROCS / per-Searcher threads).
+	Size int
+	// Search configures every Searcher in the pool, exactly as for
+	// NewSearcher. Note Threads is per Searcher: a pool of K Searchers
+	// runs up to K*Threads workers when fully loaded.
+	Search Options
+	// DefaultTimeout, when positive, bounds every query whose context
+	// carries no deadline of its own: the query — waiting for a Searcher
+	// and searching — is abandoned with context.DeadlineExceeded when it
+	// exceeds the timeout. Contexts that already have a deadline are
+	// used as-is. Queries carrying a deadline (from either source) pay
+	// one context allocation; deadline-free queries on a deadline-free
+	// pool stay allocation-free.
+	DefaultTimeout time.Duration
+	// Metrics, when non-nil, receives the pool's serving counters:
+	// Cancelled (queries unwound by context), Shed (admission failures),
+	// Recovered (Searchers rebuilt after a panicking query).
+	Metrics *Metrics
+}
+
+// Pool is a fixed-size pool of warm Searchers over one graph, for
+// serving concurrent query traffic: each Query borrows a Searcher,
+// runs one cancellable search on it, and returns it. Admission is
+// bounded — when all Searchers are busy, Query waits only as long as
+// its context allows and then sheds with ErrPoolSaturated — and a
+// query that panics poisons only its own Searcher, which the pool
+// discards and rebuilds.
+//
+// The Result returned by Query and Search is self-contained scalars
+// only: Parents, PerLevel and Trace are nil, because the borrowed
+// Searcher returns to the pool before Query does and the next borrower
+// would overwrite them. Use QueryFunc to read the full Result —
+// including Parents — while the borrow is still held.
+type Pool struct {
+	g   *Graph
+	opt PoolOptions
+
+	// free holds the idle Searchers (buffered to Size); closing is
+	// closed by Close so blocked acquirers fail over to ErrPoolClosed.
+	free    chan *core.Searcher
+	closing chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	// live is how many Searchers exist (idle or borrowed); Close joins
+	// that many. broken records a rebuild failure after a panic — from
+	// then on the pool serves errors rather than hanging callers on a
+	// slot that will never be refilled.
+	live   int
+	broken error
+}
+
+// NewPool builds a pool of warm Searchers over g. All Searchers are
+// created eagerly so the first queries pay no setup.
+func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
+	if g == nil {
+		return nil, errors.New("mcbfs: nil graph")
+	}
+	size := opt.Size
+	if size <= 0 {
+		perSearcher := opt.Search.Threads
+		if perSearcher <= 0 {
+			perSearcher = runtime.GOMAXPROCS(0)
+		}
+		size = runtime.GOMAXPROCS(0) / perSearcher
+		if size < 1 {
+			size = 1
+		}
+	}
+	p := &Pool{
+		g:       g,
+		opt:     opt,
+		free:    make(chan *core.Searcher, size),
+		closing: make(chan struct{}),
+		live:    size,
+	}
+	for i := 0; i < size; i++ {
+		s, err := core.NewSearcher(g, opt.Search)
+		if err != nil {
+			for len(p.free) > 0 {
+				(<-p.free).Close()
+			}
+			return nil, err
+		}
+		p.free <- s
+	}
+	return p, nil
+}
+
+// Size returns the number of Searchers the pool was built with.
+func (p *Pool) Size() int { return cap(p.free) }
+
+// Query runs one BFS from root with the pool's session configuration.
+// See Pool's type documentation for what the returned Result contains.
+func (p *Pool) Query(ctx context.Context, root Vertex) (Result, error) {
+	return p.Search(ctx, root, Query{})
+}
+
+// Search is Query with per-query overrides (algorithm tier, depth
+// bound), exactly as for Searcher.Search. The Result is copied out of
+// the Searcher before it returns to the pool, with the pooled slices
+// (Parents, PerLevel, Trace) detached; a warm deadline-free query
+// performs no heap allocation.
+func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.opt.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.opt.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	s, err := p.acquire(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err, panicked := p.searchOn(s, ctx, root, q)
+	if panicked {
+		p.rebuild(s)
+		return Result{}, err
+	}
+	var res Result
+	if r != nil {
+		res = *r
+		res.Parents, res.PerLevel, res.Trace = nil, nil, nil
+	}
+	p.free <- s
+	p.countCancelled(err)
+	return res, err
+}
+
+// QueryFunc runs one BFS from root and invokes fn with the full Result
+// — Parents, PerLevel and Trace included — while the borrowed Searcher
+// is still held, so the pointers are safe to read for the duration of
+// fn (and only then; copy what must outlive it). fn's error is
+// returned as the query's error. A panic in fn is treated like a
+// panicking search: the Searcher is discarded and rebuilt.
+func (p *Pool) QueryFunc(ctx context.Context, root Vertex, q Query, fn func(*Result) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.opt.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.opt.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	s, err := p.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	err, panicked := p.runWith(s, ctx, root, q, fn)
+	if panicked {
+		p.rebuild(s)
+		return err
+	}
+	p.free <- s
+	p.countCancelled(err)
+	return err
+}
+
+// acquire borrows a Searcher: the fast path takes an idle one without
+// blocking; the slow path waits until one frees up, the pool closes,
+// or the caller's context expires (shed).
+func (p *Pool) acquire(ctx context.Context) (*core.Searcher, error) {
+	if err := p.err(); err != nil {
+		return nil, err
+	}
+	select {
+	case s := <-p.free:
+		return s, nil
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return s, nil
+	case <-p.closing:
+		return nil, ErrPoolClosed
+	case <-ctx.Done():
+		if p.opt.Metrics != nil {
+			p.opt.Metrics.Shed.Add(1)
+		}
+		return nil, fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
+	}
+}
+
+// searchOn executes one borrowed search under a recover scope, so a
+// panic is contained to this query and reported as an error.
+func (p *Pool) searchOn(s *core.Searcher, ctx context.Context, root Vertex, q Query) (res *Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			res = nil
+			err = fmt.Errorf("mcbfs: query from root %d panicked: %v", root, r)
+		}
+	}()
+	res, err = s.SearchContext(ctx, root, q)
+	return res, err, false
+}
+
+// runWith is searchOn plus the caller's fn, both inside the recover
+// scope (QueryFunc's contract: a panicking fn poisons the Searcher it
+// was reading, so the Searcher is rebuilt just the same).
+func (p *Pool) runWith(s *core.Searcher, ctx context.Context, root Vertex, q Query, fn func(*Result) error) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("mcbfs: query from root %d panicked: %v", root, r)
+		}
+	}()
+	res, err := s.SearchContext(ctx, root, q)
+	if err != nil {
+		return err, false
+	}
+	return fn(res), false
+}
+
+// countCancelled feeds the Cancelled serving counter for queries the
+// context unwound.
+func (p *Pool) countCancelled(err error) {
+	if err == nil || p.opt.Metrics == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		p.opt.Metrics.Cancelled.Add(1)
+	}
+}
+
+// rebuild replaces a Searcher whose query panicked: the old one is
+// closed on a best-effort basis (its pool protocol may be corrupted
+// mid-job, so the close runs detached and its own panic is swallowed)
+// and a fresh Searcher takes its slot. If the rebuild itself fails the
+// pool is marked broken rather than left to hang callers on a slot
+// that will never be refilled.
+func (p *Pool) rebuild(old *core.Searcher) {
+	if p.opt.Metrics != nil {
+		p.opt.Metrics.Recovered.Add(1)
+	}
+	go func() {
+		defer func() { _ = recover() }()
+		old.Close()
+	}()
+	s, err := core.NewSearcher(p.g, p.opt.Search)
+	if err != nil {
+		p.mu.Lock()
+		p.live--
+		p.broken = fmt.Errorf("mcbfs: rebuilding Searcher after panic: %w", err)
+		p.mu.Unlock()
+		return
+	}
+	p.free <- s
+}
+
+// err returns the pool's terminal state, if any.
+func (p *Pool) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	return p.broken
+}
+
+// Close shuts the pool down: new queries fail with ErrPoolClosed,
+// waiting acquirers are released, and Close blocks until every
+// in-flight query has returned its Searcher, closing each. Close is
+// idempotent.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	n := p.live
+	p.mu.Unlock()
+	close(p.closing)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		s := <-p.free // waits for in-flight queries to finish
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
