@@ -24,6 +24,9 @@ type harnessConfig struct {
 	Seed   uint64
 	Short  bool
 	Tracer obs.Tracer // observes every measured library run (nil = off)
+	// Telemetry, when non-nil (-pprof), is the serving hub the -clients
+	// pool reports into, exposed at /metrics and /debug/bfs.
+	Telemetry *obs.Telemetry
 }
 
 func (c harnessConfig) sim() bool      { return c.Mode == "sim" || c.Mode == "both" }

@@ -73,18 +73,28 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
-		// Live counters for long runs: every measured BFS feeds a
-		// process-wide obs.Metrics published under /debug/vars, and the
-		// default mux already carries /debug/pprof via the blank import.
+		// Live observability for long runs: every measured BFS feeds a
+		// process-wide obs.Metrics published under /debug/vars, the same
+		// counters plus the latency histogram and flight recorder are
+		// served in Prometheus text format at /metrics and as JSON at
+		// /debug/bfs, and the default mux already carries /debug/pprof
+		// via the blank import. The -clients pool reports into the same
+		// telemetry hub.
 		var live obs.Metrics
 		live.Publish("mcbfs")
 		cfg.Tracer = live.Tracer()
+		cfg.Telemetry = obs.NewTelemetry(obs.TelemetryOptions{
+			Shards:  *clients,
+			Metrics: &live,
+		})
+		http.Handle("/metrics", cfg.Telemetry.MetricsHandler())
+		http.Handle("/debug/bfs", cfg.Telemetry.StatusHandler())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "bfsbench: pprof server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "bfsbench: pprof at http://%s/debug/pprof, live counters at /debug/vars\n",
+		fmt.Fprintf(os.Stderr, "bfsbench: pprof at http://%s/debug/pprof, Prometheus at /metrics, status at /debug/bfs, expvar at /debug/vars\n",
 			*pprofAddr)
 	}
 

@@ -109,9 +109,13 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 // runClientSearches is the concurrent-serving benchmark: M client
 // goroutines issue the same total number of queries against an
 // mcbfs.Pool of warm Searchers, reporting end-to-end queries/sec and
-// the p50/p99 query latency under contention — the serving-shape
+// the query-latency distribution under contention — the serving-shape
 // figure of merit, where admission waits and reset costs show up in
-// tail latency rather than in single-search TEPS.
+// tail latency rather than in single-search TEPS. Client-observed
+// latency (admission wait included) goes into an obs.Histogram with one
+// shard per client, so the measurement adds no cross-client contention
+// and no per-query allocation — unlike the earlier version, which
+// appended every latency to a slice and sorted the lot.
 func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize int) error {
 	if searches < 1 {
 		return fmt.Errorf("searches %d must be >= 1", searches)
@@ -148,9 +152,10 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 	var serving obs.Metrics
 	setupStart := time.Now()
 	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
-		Size:    poolSize,
-		Search:  mcbfs.Options{Threads: threads, Tracer: cfg.Tracer},
-		Metrics: &serving,
+		Size:      poolSize,
+		Search:    mcbfs.Options{Threads: threads, Tracer: cfg.Tracer},
+		Metrics:   &serving,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -159,10 +164,11 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 	setup := time.Since(setupStart)
 
 	var (
-		next      atomic.Int64
-		firstErr  atomic.Value
-		latencies = make([][]float64, clients)
-		wg        sync.WaitGroup
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr atomic.Value
+		lat      = obs.NewHistogram(clients)
+		wg       sync.WaitGroup
 	)
 	ctx := context.Background()
 	start := time.Now()
@@ -180,7 +186,8 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				latencies[c] = append(latencies[c], time.Since(t0).Seconds())
+				lat.Record(c, time.Since(t0))
+				done.Add(1)
 			}
 		}(c)
 	}
@@ -190,25 +197,20 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 		return err
 	}
 
-	all := make([]float64, 0, len(roots))
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
 	snap := serving.Snapshot()
+	dist := lat.Snapshot()
 	fmt.Fprintf(w, "clients=%d pool=%d threads/searcher=%d scale=%d: %.1f queries/sec over %d queries (pool setup %v)\n",
 		clients, poolSize, threads, log2(n),
-		float64(len(all))/elapsed.Seconds(), len(all), setup.Round(time.Microsecond))
-	fmt.Fprintf(w, "  latency: p50 %v  p99 %v  max %v\n",
-		quantileDur(all, 0.5), quantileDur(all, 0.99), quantileDur(all, 1))
+		float64(done.Load())/elapsed.Seconds(), done.Load(), setup.Round(time.Microsecond))
+	fmt.Fprintf(w, "  latency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
+		dist.Quantile(0.5).Round(time.Microsecond),
+		dist.Quantile(0.9).Round(time.Microsecond),
+		dist.Quantile(0.99).Round(time.Microsecond),
+		dist.Quantile(0.999).Round(time.Microsecond),
+		time.Duration(dist.MaxNs).Round(time.Microsecond))
 	fmt.Fprintf(w, "  serving: cancelled=%d shed=%d recovered=%d\n",
 		snap["cancelled"], snap["shed"], snap["recovered"])
 	return nil
-}
-
-// quantileDur renders the q-quantile of latency seconds as a rounded
-// duration.
-func quantileDur(lats []float64, q float64) time.Duration {
-	return time.Duration(stats.Quantile(lats, q) * float64(time.Second)).Round(time.Microsecond)
 }
 
 // log2 returns floor(log2(n)) for n >= 1.

@@ -10,11 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"mcbfs/internal/core"
 	"mcbfs/internal/graph"
 	"mcbfs/internal/graph500"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/stats"
 )
 
@@ -27,6 +30,7 @@ func main() {
 		seed       = flag.Uint64("seed", 2010, "generator seed")
 		skipVal    = flag.Bool("skip-validation", false, "skip per-root tree validation")
 		deadline   = flag.Duration("deadline", 0, "per-root search deadline; roots exceeding it are abandoned and reported, not failed (0 = none)")
+		pprofAddr  = flag.String("pprof", "", "serve live telemetry on this address while the protocol runs: /metrics (Prometheus), /debug/bfs (status), /debug/vars (expvar incl. timed-out roots), /debug/pprof")
 		verbose    = flag.Bool("v", false, "print per-root TEPS")
 	)
 	flag.Parse()
@@ -45,6 +49,27 @@ func main() {
 		Options:        core.Options{Threads: *threads},
 		SkipValidation: *skipVal,
 		SearchTimeout:  *deadline,
+	}
+	if *pprofAddr != "" {
+		// Long protocol runs are watchable live: per-level counters feed
+		// an expvar-published Metrics (timed-out roots included, not just
+		// the stdout summary at the end), and every root's search reports
+		// into a telemetry hub served at /metrics and /debug/bfs.
+		live := &obs.Metrics{}
+		live.Publish("graph500")
+		tel := obs.NewTelemetry(obs.TelemetryOptions{Shards: 1, Metrics: live})
+		spec.Metrics = live
+		spec.Options.Tracer = live.Tracer()
+		spec.Options.Telemetry = tel
+		http.Handle("/metrics", tel.MetricsHandler())
+		http.Handle("/debug/bfs", tel.StatusHandler())
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "graph500: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "graph500: telemetry at http://%s/metrics and /debug/bfs, expvar at /debug/vars, pprof at /debug/pprof\n",
+			*pprofAddr)
 	}
 	res, err := graph500.Run(spec)
 	if err != nil {

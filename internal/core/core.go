@@ -147,6 +147,18 @@ type Options struct {
 	// when false (and Tracer is nil) the hot path executes no extra
 	// atomic operations and only per-level nil-checks.
 	Trace bool
+	// Telemetry, when non-nil, receives one obs.QuerySample per
+	// Search/SearchContext on a session: latency into the histogram and
+	// the query's scalars plus per-level phase breakdowns into the
+	// flight recorder. Enabling it arms the obs collector every search
+	// (the per-level breakdowns must be recorded before the query is
+	// known to be slow), which costs a few time.Now calls per worker
+	// per level; a warm search still performs zero heap allocations.
+	Telemetry *obs.Telemetry
+	// TelemetryShard selects the latency-histogram shard this session
+	// records into. Give concurrent sessions distinct shards (as
+	// mcbfs.Pool does) so their counter writes never contend.
+	TelemetryShard int
 }
 
 func (o Options) withDefaults() Options {

@@ -130,19 +130,3 @@ func (c *statsCollector) foldPhases(more bool) {
 		RemoteSends: t.RemoteSends,
 	}, more)
 }
-
-// newObsCollector builds the observability collector for a run, or nil
-// when observability is off — the nil pointer is what keeps the hot
-// path at a handful of predictable nil-checks per level.
-func newObsCollector(o Options, workers, sockets int, alg Algorithm) *obs.Collector {
-	if !o.Trace && o.Tracer == nil {
-		return nil
-	}
-	return obs.NewCollector(obs.Config{
-		Workers:   workers,
-		Sockets:   sockets,
-		Algorithm: alg.String(),
-		Trace:     o.Trace,
-		Tracer:    o.Tracer,
-	})
-}

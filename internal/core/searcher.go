@@ -80,10 +80,10 @@ type searchWorker struct {
 // not be called concurrently. For concurrent query streams, create one
 // Searcher per stream — Searchers over the same graph are independent.
 type Searcher struct {
-	g  *graph.Graph
-	gt *graph.Graph // transpose; direction-optimizing tier only (lazy)
-	o  Options      // session options, resolved by withDefaults
-	n  int
+	g       *graph.Graph
+	gt      *graph.Graph // transpose; direction-optimizing tier only (lazy)
+	o       Options      // session options, resolved by withDefaults
+	n       int
 	workers int
 	sockets int
 	part    topology.Partition // multi-socket tier only
@@ -123,6 +123,17 @@ type Searcher struct {
 	alg       Algorithm
 	maxLevels int
 	coll      *obs.Collector
+
+	// collCache is the pooled obs collector, reused across searches via
+	// Collector.Reset whenever the tier's worker count is unchanged, so
+	// a warm observed search allocates no collector state. runTracer is
+	// the session's effective tracer — Options.Tracer plus the
+	// telemetry level capture when Options.Telemetry is set — and
+	// levelRecs is the capture's pooled destination: the current
+	// search's per-level breakdowns, handed to the flight recorder.
+	collCache *obs.Collector
+	runTracer obs.Tracer
+	levelRecs []obs.LevelBreakdown
 
 	// ctx is the current search's context; cancel is the cross-worker
 	// abort flag, set by whichever party first observes ctx.Err() != nil
@@ -190,6 +201,16 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 		if o.ProbeBatch > 0 {
 			s.ws[w].probeHit = make([]bool, o.ProbeBatch)
 		}
+	}
+	s.runTracer = o.Tracer
+	if o.Telemetry != nil {
+		lc := levelCapture{s}
+		if o.Tracer != nil {
+			s.runTracer = obs.MultiTracer(o.Tracer, lc)
+		} else {
+			s.runTracer = lc
+		}
+		s.levelRecs = make([]obs.LevelBreakdown, 0, 64)
 	}
 	if err := s.ensureTier(o.Algorithm); err != nil {
 		return nil, err
@@ -486,7 +507,8 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 	if alg == AlgMultiSocket {
 		tierSockets = s.sockets
 	}
-	s.coll = newObsCollector(s.o, tierWorkers, tierSockets, alg)
+	s.coll = s.obsCollector(tierWorkers, tierSockets, alg)
+	s.levelRecs = s.levelRecs[:0]
 	s.alg = alg
 	s.maxLevels = maxLevels
 	s.levels = 0
@@ -538,9 +560,11 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 		}
 		reached++ // workers count discoveries; the root is seeded
 	}
+	dur := time.Since(start)
 	if s.cancel.Load() {
 		// The partial tree is not a BFS tree of anything; expose only
 		// the error. State reset happens lazily on the next query.
+		s.recordQuery(root, start, dur, reached, edges, obs.OutcomeCancelled, alg)
 		return nil, ctx.Err()
 	}
 
@@ -550,15 +574,77 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 		Reached:        reached,
 		EdgesTraversed: edges,
 		Levels:         s.levels,
-		Duration:       time.Since(start),
+		Duration:       dur,
 		Algorithm:      alg,
 		Threads:        tierWorkers,
 		PerLevel:       s.perLevel,
 		Trace:          s.coll.Finish(),
 	}
 	s.hasTouched = true
+	s.recordQuery(root, start, dur, reached, edges, obs.OutcomeOK, alg)
 	return &s.res, nil
 }
+
+// recordQuery hands one finished (or cancelled) search to the session's
+// telemetry hub. The per-level slice is borrowed: the hub copies it only
+// when the query is slow enough to capture.
+func (s *Searcher) recordQuery(root graph.Vertex, start time.Time, dur time.Duration, reached, edges int64, outcome obs.Outcome, alg Algorithm) {
+	if s.o.Telemetry == nil {
+		return
+	}
+	s.o.Telemetry.RecordQuery(s.o.TelemetryShard, obs.QuerySample{
+		Root:      uint32(root),
+		Start:     start,
+		Duration:  dur,
+		Levels:    s.levels,
+		Reached:   reached,
+		Edges:     edges,
+		Outcome:   outcome,
+		Algorithm: alg.String(),
+		PerLevel:  s.levelRecs,
+	})
+}
+
+// obsCollector readies the observability collector for one search: the
+// pooled collector is Reset in place when the tier's worker count is
+// unchanged, rebuilt otherwise, and nil when nothing observes the run —
+// the nil pointer is what keeps the hot path at a handful of
+// predictable nil-checks per level.
+func (s *Searcher) obsCollector(workers, sockets int, alg Algorithm) *obs.Collector {
+	if !s.o.Trace && s.runTracer == nil {
+		return nil
+	}
+	cfg := obs.Config{
+		Workers:   workers,
+		Sockets:   sockets,
+		Algorithm: alg.String(),
+		Trace:     s.o.Trace,
+		Tracer:    s.runTracer,
+	}
+	if s.collCache.Reset(cfg) {
+		return s.collCache
+	}
+	s.collCache = obs.NewCollector(cfg)
+	return s.collCache
+}
+
+// levelCapture is the telemetry hook: a Tracer that accumulates each
+// level's folded breakdown into the session's pooled levelRecs slice,
+// from which recordQuery hands the per-level view to the flight
+// recorder. Callbacks fire only from the elected level coordinator (one
+// goroutine at a time, sequenced by the level barrier), so plain
+// appends are safe.
+type levelCapture struct{ s *Searcher }
+
+func (c levelCapture) OnLevelStart(level int) {}
+
+func (c levelCapture) OnLevelEnd(level int, b obs.LevelBreakdown) {
+	c.s.levelRecs = append(c.s.levelRecs, b)
+}
+
+func (c levelCapture) OnRemoteBatch(level, worker, toSocket, tuples int) {}
+
+func (c levelCapture) OnBarrierWait(level, worker int, wait time.Duration) {}
 
 // Close shuts down the worker pool and joins it: when Close returns,
 // every pool goroutine has exited and (under PinThreads) restored its

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -202,6 +203,77 @@ func TestTraceBarrierPhaseCoverage(t *testing.T) {
 		t.Error("no barrier-wait time recorded")
 	}
 }
+
+// TestTraceConcurrentChromeExport runs several traced Searchers over
+// one graph simultaneously, each interleaving searches with Chrome
+// trace exports of its previous result — the serving-shape usage where
+// a monitoring goroutine dumps traces while query traffic continues.
+// Run under -race (this package is in the CI race matrix): the test
+// pins down that concurrent sessions share no trace state and that
+// WriteChromeTrace reads a finished Trace without racing the search
+// that produces the next one on the same Searcher.
+func TestTraceConcurrentChromeExport(t *testing.T) {
+	g, err := gen.Uniform(1<<12, 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 4
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := NewSearcher(g, Options{Algorithm: AlgSingleSocket, Threads: 2, Trace: true})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer s.Close()
+			// export runs one behind the search: the trace being written
+			// belongs to a finished query while the next one runs.
+			exportDone := make(chan error, 1)
+			exportDone <- nil
+			var prev *obs.Trace
+			for r := 0; r < rounds; r++ {
+				res, err := s.BFS(0)
+				if err != nil {
+					<-exportDone
+					errs <- err
+					return
+				}
+				if err := <-exportDone; err != nil {
+					errs <- err
+					return
+				}
+				prev, res.Trace = res.Trace, nil
+				go func(tr *obs.Trace) {
+					var buf bytes.Buffer
+					if err := tr.WriteChromeTrace(&buf); err != nil {
+						exportDone <- err
+						return
+					}
+					if !json.Valid(buf.Bytes()) {
+						exportDone <- errTraceJSON
+						return
+					}
+					exportDone <- nil
+				}(prev)
+			}
+			errs <- <-exportDone
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errTraceJSON = errors.New("chrome trace is not valid JSON")
 
 // TestTraceCorrectnessUnchanged guards against observability perturbing
 // the search itself: traced and untraced runs must produce identical

@@ -27,6 +27,7 @@ import (
 	"mcbfs/internal/core"
 	"mcbfs/internal/gen"
 	"mcbfs/internal/graph"
+	"mcbfs/internal/obs"
 	"mcbfs/internal/rng"
 	"mcbfs/internal/stats"
 )
@@ -51,6 +52,11 @@ type Spec struct {
 	// Result.RootsTimedOut, and excluded from the TEPS statistics. The
 	// session stays warm — the next root pays only the usual reset.
 	SearchTimeout time.Duration
+	// Metrics, when non-nil, receives each timed-out root as a live
+	// TimedOut increment, so a long run's abandonment count is visible
+	// on /debug/vars and /metrics while the protocol is still going,
+	// not only in the stdout summary at the end.
+	Metrics *obs.Metrics
 }
 
 // DefaultSpec returns the standard protocol at the given scale: edge
@@ -187,6 +193,9 @@ func Run(spec Spec) (*Result, error) {
 			// mid-search; the session's O(touched) reset makes the next
 			// root's tree exact regardless.
 			res.RootsTimedOut++
+			if spec.Metrics != nil {
+				spec.Metrics.TimedOut.Add(1)
+			}
 			continue
 		}
 		if err != nil {

@@ -3,8 +3,10 @@ package graph500
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"mcbfs/internal/core"
+	"mcbfs/internal/obs"
 )
 
 func TestRunSmallScale(t *testing.T) {
@@ -106,6 +108,36 @@ func TestRunAllTiers(t *testing.T) {
 		if !res.Validated {
 			t.Errorf("%v: validation failed", alg)
 		}
+	}
+}
+
+// TestRunDeadlineFeedsMetrics pins the -deadline observability path: a
+// deadline so tight every root times out must surface the abandonment
+// count through the attached obs.Metrics (the live view), in agreement
+// with Result.RootsTimedOut (the summary).
+func TestRunDeadlineFeedsMetrics(t *testing.T) {
+	var m obs.Metrics
+	spec := DefaultSpec(12)
+	spec.Roots = 3
+	spec.SkipValidation = true
+	spec.Options = core.Options{Threads: 2}
+	spec.SearchTimeout = time.Nanosecond // expires before the first level barrier
+	spec.Metrics = &m
+	res, err := Run(spec)
+	if err == nil {
+		t.Fatal("expected the all-roots-timed-out error")
+	}
+	if res == nil {
+		t.Fatal("timed-out run must still return its partial result")
+	}
+	if res.RootsTimedOut != spec.Roots {
+		t.Fatalf("RootsTimedOut = %d, want %d", res.RootsTimedOut, spec.Roots)
+	}
+	if got := m.TimedOut.Load(); got != int64(spec.Roots) {
+		t.Errorf("Metrics.TimedOut = %d, want %d (must match RootsTimedOut live)", got, spec.Roots)
+	}
+	if snap := m.Snapshot(); snap["timedOut"] != int64(spec.Roots) {
+		t.Errorf("Snapshot timedOut = %d, want %d", snap["timedOut"], spec.Roots)
 	}
 }
 

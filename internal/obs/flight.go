@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a query ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK is a query that completed its search.
+	OutcomeOK Outcome = iota
+	// OutcomeCancelled is a query unwound by context cancellation or
+	// deadline expiry mid-search.
+	OutcomeCancelled
+	// OutcomeShed is a query refused at pool admission (no Searcher
+	// freed up before its context expired); it never searched.
+	OutcomeShed
+	// OutcomePanic is a query whose search panicked; its Searcher was
+	// discarded and rebuilt.
+	OutcomePanic
+	// numOutcomes bounds the enum for per-outcome counters.
+	numOutcomes
+)
+
+// String returns the outcome label used on /metrics and /debug/bfs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeShed:
+		return "shed"
+	case OutcomePanic:
+		return "panic"
+	default:
+		return "outcome?"
+	}
+}
+
+// QuerySample is one query's telemetry deposit, handed to
+// Telemetry.RecordQuery as the query finishes. PerLevel is borrowed
+// from the recorder's pooled buffer: the flight recorder copies it only
+// when the query is retained as slow, so passing it costs nothing.
+type QuerySample struct {
+	Root      uint32
+	Start     time.Time
+	Duration  time.Duration
+	Levels    int
+	Reached   int64
+	Edges     int64
+	Outcome   Outcome
+	Algorithm string
+	PerLevel  []LevelBreakdown
+}
+
+// QueryRecord is one entry of the flight recorder's ring: the
+// QuerySample scalars plus, for queries at or above the slow threshold
+// when they landed, the full per-level breakdown.
+type QueryRecord struct {
+	// Seq is the query's global sequence number (monotone, starts at 1);
+	// the ring holds the trailing window of sequence numbers.
+	Seq       uint64
+	Root      uint32
+	Start     time.Time
+	Duration  time.Duration
+	Levels    int
+	Reached   int64
+	Edges     int64
+	Outcome   Outcome
+	Algorithm string
+	// Captured reports whether PerLevel was retained; fast queries keep
+	// only the scalars above.
+	Captured bool
+	// PerLevel is the per-level breakdown — counters and per-phase
+	// worker nanoseconds — of a captured slow query.
+	PerLevel []LevelBreakdown
+}
+
+// flightRefreshEvery is how many recorded queries pass between
+// recomputations of the adaptive slow threshold.
+const flightRefreshEvery = 64
+
+// FlightRecorder is a fixed-size ring of the most recent queries. Every
+// query deposits its scalar record; only queries slower than the
+// adaptive threshold — the histogram's current p99, floored at a
+// configured minimum — retain their full per-level breakdown, so the
+// ring stays cheap to feed (one short mutex hold, no steady-state
+// allocation: slow captures reuse each slot's PerLevel capacity) while
+// the pathological queries arrive with their phase anatomy attached.
+//
+// The threshold starts at the configured floor (default 0, i.e.
+// capture everything) and adapts after each flightRefreshEvery
+// recordings, so a cold recorder documents its first queries fully and
+// a warm one spends capture space only on the tail.
+type FlightRecorder struct {
+	mu           sync.Mutex
+	ring         []QueryRecord
+	seq          uint64
+	floor        int64 // ns; configured minimum threshold
+	threshold    int64 // ns; current capture threshold
+	sinceRefresh int
+	hist         *Histogram // threshold source; may be nil (floor only)
+}
+
+// newFlightRecorder builds a recorder of the given ring size whose
+// adaptive threshold tracks hist's p99 (floored at floor).
+func newFlightRecorder(size int, floor time.Duration, hist *Histogram) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	f := int64(floor)
+	if f < 0 {
+		f = 0
+	}
+	return &FlightRecorder{
+		ring:      make([]QueryRecord, size),
+		floor:     f,
+		threshold: f,
+		hist:      hist,
+	}
+}
+
+// note deposits one query into the ring. Called by Telemetry.RecordQuery.
+func (r *FlightRecorder) note(s QuerySample) {
+	r.mu.Lock()
+	r.seq++
+	slot := &r.ring[(r.seq-1)%uint64(len(r.ring))]
+	perLevel := slot.PerLevel // keep the slot's capacity for reuse
+	*slot = QueryRecord{
+		Seq:       r.seq,
+		Root:      s.Root,
+		Start:     s.Start,
+		Duration:  s.Duration,
+		Levels:    s.Levels,
+		Reached:   s.Reached,
+		Edges:     s.Edges,
+		Outcome:   s.Outcome,
+		Algorithm: s.Algorithm,
+	}
+	if int64(s.Duration) >= r.threshold && len(s.PerLevel) > 0 {
+		slot.Captured = true
+		slot.PerLevel = append(perLevel[:0], s.PerLevel...)
+	} else {
+		slot.PerLevel = perLevel[:0]
+	}
+	r.sinceRefresh++
+	if r.sinceRefresh >= flightRefreshEvery {
+		r.sinceRefresh = 0
+		r.refreshThreshold()
+	}
+	r.mu.Unlock()
+}
+
+// refreshThreshold re-derives the capture threshold from the
+// histogram's current p99, floored at the configured minimum. Called
+// with r.mu held.
+func (r *FlightRecorder) refreshThreshold() {
+	if r.hist == nil {
+		return
+	}
+	snap := r.hist.Snapshot()
+	t := int64(snap.Quantile(0.99))
+	if t < r.floor {
+		t = r.floor
+	}
+	r.threshold = t
+}
+
+// Threshold returns the current slow-capture threshold.
+func (r *FlightRecorder) Threshold() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.threshold)
+}
+
+// Records returns a copy of the ring's occupied entries, most recent
+// first. PerLevel slices are deep-copied, so the result is safe to hold
+// while recording continues.
+func (r *FlightRecorder) Records() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq
+	if n > uint64(len(r.ring)) {
+		n = uint64(len(r.ring))
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		slot := r.ring[(r.seq-1-i)%uint64(len(r.ring))]
+		if slot.Captured {
+			slot.PerLevel = append([]LevelBreakdown(nil), slot.PerLevel...)
+		} else {
+			slot.PerLevel = nil
+		}
+		out = append(out, slot)
+	}
+	return out
+}
+
+// Slowest returns the k slowest queries currently in the ring, slowest
+// first, with the same deep-copy guarantee as Records.
+func (r *FlightRecorder) Slowest(k int) []QueryRecord {
+	recs := r.Records()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Duration > recs[j].Duration })
+	if k >= 0 && len(recs) > k {
+		recs = recs[:k]
+	}
+	return recs
+}

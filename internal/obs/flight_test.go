@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleWithLevels(d time.Duration, levels int) QuerySample {
+	s := QuerySample{
+		Root:      7,
+		Start:     time.Now(),
+		Duration:  d,
+		Levels:    levels,
+		Reached:   100,
+		Edges:     1000,
+		Outcome:   OutcomeOK,
+		Algorithm: "single-socket",
+	}
+	for l := 0; l < levels; l++ {
+		lb := LevelBreakdown{Level: l, Duration: d / time.Duration(levels)}
+		lb.Phases[PhaseLocalScan] = d / time.Duration(levels+1)
+		s.PerLevel = append(s.PerLevel, lb)
+	}
+	return s
+}
+
+func TestFlightRecorderCapturesAboveThreshold(t *testing.T) {
+	// No histogram: the threshold stays at the configured floor.
+	r := newFlightRecorder(8, 10*time.Millisecond, nil)
+	r.note(sampleWithLevels(time.Millisecond, 3))    // fast: scalars only
+	r.note(sampleWithLevels(20*time.Millisecond, 4)) // slow: captured
+	recs := r.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	// Most recent first.
+	if recs[0].Duration != 20*time.Millisecond || !recs[0].Captured || len(recs[0].PerLevel) != 4 {
+		t.Errorf("slow record not captured: %+v", recs[0])
+	}
+	if recs[1].Captured || recs[1].PerLevel != nil {
+		t.Errorf("fast record retained a breakdown: %+v", recs[1])
+	}
+	if recs[0].Seq != 2 || recs[1].Seq != 1 {
+		t.Errorf("seq = %d,%d want 2,1", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := newFlightRecorder(4, 0, nil)
+	for i := 1; i <= 10; i++ {
+		r.note(sampleWithLevels(time.Duration(i)*time.Millisecond, 2))
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want ring size 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(10 - i); rec.Seq != want {
+			t.Errorf("records[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderAdaptiveThreshold(t *testing.T) {
+	h := NewHistogram(1)
+	r := newFlightRecorder(32, 0, h)
+	if r.Threshold() != 0 {
+		t.Fatalf("cold threshold = %v, want 0 (capture everything)", r.Threshold())
+	}
+	// Feed the histogram a tight distribution around 1ms and push enough
+	// records through to trigger a refresh: the threshold must rise to
+	// the p99 neighbourhood, so a typical query stops being captured.
+	for i := 0; i < flightRefreshEvery; i++ {
+		h.Record(0, time.Millisecond)
+		r.note(sampleWithLevels(time.Millisecond, 2))
+	}
+	th := r.Threshold()
+	if th <= 500*time.Microsecond {
+		t.Fatalf("threshold after refresh = %v, want ~p99 of 1ms distribution", th)
+	}
+	r.note(sampleWithLevels(th/2, 2))
+	recs := r.Records()
+	if recs[0].Captured {
+		t.Errorf("query at threshold/2 was captured (threshold %v)", th)
+	}
+	r.note(sampleWithLevels(th*2, 2))
+	if recs = r.Records(); !recs[0].Captured {
+		t.Errorf("query at 2x threshold was not captured (threshold %v)", th)
+	}
+}
+
+func TestFlightRecorderSlowest(t *testing.T) {
+	r := newFlightRecorder(16, 0, nil)
+	for _, ms := range []int{5, 1, 9, 3, 7} {
+		r.note(sampleWithLevels(time.Duration(ms)*time.Millisecond, 1))
+	}
+	top := r.Slowest(3)
+	if len(top) != 3 {
+		t.Fatalf("slowest = %d entries, want 3", len(top))
+	}
+	want := []time.Duration{9 * time.Millisecond, 7 * time.Millisecond, 5 * time.Millisecond}
+	for i, rec := range top {
+		if rec.Duration != want[i] {
+			t.Errorf("slowest[%d] = %v, want %v", i, rec.Duration, want[i])
+		}
+	}
+}
+
+func TestFlightRecorderRecordsAreCopies(t *testing.T) {
+	r := newFlightRecorder(2, 0, nil)
+	r.note(sampleWithLevels(time.Second, 3))
+	recs := r.Records()
+	// Overwrite the slot by wrapping the ring; the copy must not change.
+	r.note(sampleWithLevels(time.Millisecond, 1))
+	r.note(sampleWithLevels(2*time.Millisecond, 1))
+	r.note(sampleWithLevels(3*time.Millisecond, 1))
+	if recs[0].Duration != time.Second || len(recs[0].PerLevel) != 3 {
+		t.Errorf("dumped record mutated by later notes: %+v", recs[0])
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeOK:        "ok",
+		OutcomeCancelled: "cancelled",
+		OutcomeShed:      "shed",
+		OutcomePanic:     "panic",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free, sharded, log-bucketed latency histogram for
+// the serving path. Buckets are logarithmic with histSubCount
+// sub-buckets per power of two (relative bucket width 1/histSubCount,
+// i.e. quantile estimates carry at most ~12.5% relative error before
+// interpolation), covering nanoseconds to hours with the tails clamped
+// into the first and last bucket.
+//
+// Recording is one uncontended atomic add per bucket/sum/max on the
+// caller's shard and allocates nothing; shards are cache-line padded so
+// concurrent recorders never share a line. Assign each concurrent
+// recorder (e.g. each pooled Searcher) its own shard — a shard is
+// multi-writer safe either way, sharding only removes the contention.
+// Readers fold all shards into a HistogramSnapshot; a snapshot taken
+// while recorders run is a consistent-enough view for monitoring (each
+// bucket is exact, cross-bucket skew is bounded by the fold's duration).
+type Histogram struct {
+	shards []histShard
+}
+
+const (
+	// histSubBits sub-bucket resolution: 2^histSubBits buckets per
+	// power of two.
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits
+
+	// histBuckets covers [0ns, (8+7)<<40 ns ≈ 4.6h); slower samples
+	// clamp into the last bucket, whose upper bound exports as +Inf.
+	histMaxExp  = 40
+	histBuckets = (histMaxExp + 2) * histSubCount
+)
+
+// histShard is one recorder's slice of the histogram, padded so the
+// trailing counters of shard i and the leading buckets of shard i+1
+// never share a cache line.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64 // total nanoseconds
+	max    atomic.Uint64 // high-water nanoseconds
+	_      [64]byte
+}
+
+// NewHistogram builds a histogram with the given shard count (values
+// below 1 become 1). Size shards to the number of concurrent recorders;
+// extra recorders wrap around.
+func NewHistogram(shards int) *Histogram {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Histogram{shards: make([]histShard, shards)}
+}
+
+// Shards returns the shard count.
+func (h *Histogram) Shards() int { return len(h.shards) }
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+// Values below 2*histSubCount get exact unit buckets; above that,
+// bucket (e+1)*histSubCount + s holds values whose top histSubBits+1
+// bits are 1<<histSubBits | s at exponent e.
+func bucketIndex(ns uint64) int {
+	l := bits.Len64(ns)
+	if l <= histSubBits+1 {
+		return int(ns)
+	}
+	exp := l - histSubBits - 1
+	sub := int(ns>>uint(exp)) & (histSubCount - 1)
+	idx := (exp+1)*histSubCount + sub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLower returns the smallest nanosecond value mapping to bucket
+// idx (the inverse of bucketIndex).
+func bucketLower(idx int) uint64 {
+	if idx < 2*histSubCount {
+		return uint64(idx)
+	}
+	exp := idx/histSubCount - 1
+	sub := uint64(idx % histSubCount)
+	return (histSubCount + sub) << uint(exp)
+}
+
+// bucketUpper returns the exclusive upper bound of bucket idx in
+// nanoseconds. The last bucket is open-ended; callers exporting it
+// should render +Inf.
+func bucketUpper(idx int) uint64 {
+	if idx >= histBuckets-1 {
+		return ^uint64(0)
+	}
+	return bucketLower(idx + 1)
+}
+
+// Record adds one latency observation to the given shard (wrapped into
+// range). It is safe for concurrent use, performs no allocation, and is
+// a no-op on a nil receiver.
+func (h *Histogram) Record(shard int, d time.Duration) {
+	if h == nil {
+		return
+	}
+	if shard < 0 {
+		shard = 0
+	}
+	s := &h.shards[shard%len(h.shards)]
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	s.counts[bucketIndex(ns)].Add(1)
+	s.sum.Add(ns)
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a folded, point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	// Counts[i] is the number of observations in bucket i; see
+	// BucketBounds for the bucket's range.
+	Counts [histBuckets]uint64
+	// Count and SumNs are the total observation count and their sum in
+	// nanoseconds; MaxNs the largest single observation.
+	Count uint64
+	SumNs uint64
+	MaxNs uint64
+}
+
+// Snapshot folds every shard into one view. Nil-receiver safe (returns
+// the zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			c := sh.counts[b].Load()
+			s.Counts[b] += c
+			s.Count += c
+		}
+		s.SumNs += sh.sum.Load()
+		if m := sh.max.Load(); m > s.MaxNs {
+			s.MaxNs = m
+		}
+	}
+	return s
+}
+
+// BucketBounds returns bucket i's half-open nanosecond range
+// [lo, hi); the last bucket's hi is MaxUint64 (render as +Inf).
+func (s *HistogramSnapshot) BucketBounds(i int) (lo, hi uint64) {
+	return bucketLower(i), bucketUpper(i)
+}
+
+// NumBuckets returns the bucket count (shared by every histogram).
+func (s *HistogramSnapshot) NumBuckets() int { return histBuckets }
+
+// Mean returns the mean observation, or 0 when empty.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by nearest rank with
+// linear interpolation inside the landing bucket, so the estimate's
+// error is bounded by the bucket's width (≤ 1/8 relative). q >= 1
+// returns the exact maximum. Returns 0 when the histogram is empty.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNs)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum <= rank {
+			continue
+		}
+		lo, hi := bucketLower(i), bucketUpper(i)
+		// Clamp the open-ended (or partially filled) top bucket to the
+		// recorded maximum so tail quantiles never exceed it.
+		if hi > s.MaxNs {
+			hi = s.MaxNs + 1
+		}
+		if hi <= lo {
+			return time.Duration(lo)
+		}
+		within := float64(rank-(cum-c)) + 0.5
+		est := float64(lo) + float64(hi-lo)*within/float64(c)
+		if est > float64(s.MaxNs) {
+			est = float64(s.MaxNs)
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(s.MaxNs)
+}

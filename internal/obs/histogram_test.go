@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexInverse(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, bounds
+	// must be strictly increasing, and the bucket ranges must tile the
+	// value space without gaps.
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLower(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLower(%d)=%d) = %d", i, lo, got)
+		}
+		if i > 0 && bucketLower(i) != bucketUpper(i-1) {
+			t.Fatalf("gap between bucket %d upper (%d) and bucket %d lower (%d)",
+				i-1, bucketUpper(i-1), i, bucketLower(i))
+		}
+		if i < histBuckets-1 {
+			// The last in-range value of bucket i still maps to i.
+			if got := bucketIndex(bucketUpper(i) - 1); got != i {
+				t.Fatalf("bucketIndex(upper(%d)-1) = %d", i, got)
+			}
+		}
+	}
+	// Overflow clamps into the last bucket.
+	if got := bucketIndex(^uint64(0)); got != histBuckets-1 {
+		t.Errorf("max value bucket = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(4)
+	// 1000 samples uniform over (0, 100ms]: quantile estimates must land
+	// within one bucket width (12.5% relative) of the true value.
+	for i := 1; i <= 1000; i++ {
+		h.Record(i%4, time.Duration(i)*100*time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", snap.Count)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 50 * time.Millisecond},
+		{0.9, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		got := snap.Quantile(tc.q)
+		if relerr := math.Abs(float64(got)-float64(tc.want)) / float64(tc.want); relerr > 0.13 {
+			t.Errorf("p%g = %v, want %v ± 13%% (err %.1f%%)", tc.q*100, got, tc.want, 100*relerr)
+		}
+	}
+	if got := snap.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want exact max 100ms", got)
+	}
+	if mean := snap.Mean(); math.Abs(float64(mean)-float64(50050*time.Microsecond)) > float64(time.Microsecond) {
+		t.Errorf("mean = %v, want ~50.05ms", mean)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(0, time.Second) // must not panic
+	snap := nilH.Snapshot()
+	if snap.Count != 0 || snap.Quantile(0.5) != 0 || snap.Mean() != 0 {
+		t.Errorf("nil histogram snapshot not empty: %+v", snap)
+	}
+	h := NewHistogram(0) // clamps to 1 shard
+	if h.Shards() != 1 {
+		t.Errorf("shards = %d, want 1", h.Shards())
+	}
+	h.Record(-3, -time.Second) // negative shard and duration both clamp
+	if s := h.Snapshot(); s.Count != 1 || s.Counts[0] != 1 {
+		t.Errorf("negative-duration record landed wrong: %+v", s.Counts[:4])
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram(8)
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(g, time.Duration(i+1)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.MaxNs != uint64(perG*int(time.Microsecond)) {
+		t.Errorf("max = %d, want %d", snap.MaxNs, perG*int(time.Microsecond))
+	}
+}
+
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	h := NewHistogram(2)
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Record(1, 3*time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(0, time.Duration(i))
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"expvar"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -37,6 +38,10 @@ type Metrics struct {
 	Cancelled atomic.Int64
 	Shed      atomic.Int64
 	Recovered atomic.Int64
+	// TimedOut counts protocol-level roots abandoned at a per-root
+	// deadline (graph500 -deadline) — distinct from Cancelled, which the
+	// serving layer feeds per query.
+	TimedOut atomic.Int64
 }
 
 // Snapshot returns the current counter values keyed by name.
@@ -56,14 +61,26 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"cancelled":     m.Cancelled.Load(),
 		"shed":          m.Shed.Load(),
 		"recovered":     m.Recovered.Load(),
+		"timedOut":      m.TimedOut.Load(),
 	}
 }
 
+// publishMu serializes Publish's check-then-register against the
+// process-wide expvar registry, which offers no atomic try-publish.
+var publishMu sync.Mutex
+
 // Publish registers the metrics under name in the process-wide expvar
 // registry (served at /debug/vars by any net/http server using the
-// default mux). It panics, as expvar does, if name is already
-// published; publish once per process.
+// default mux). Re-publishing is idempotent rather than a panic: when
+// name is already registered — by this Metrics or anything else, since
+// expvar offers no way to replace a variable — Publish leaves the
+// existing variable in place and returns.
 func (m *Metrics) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
 }
 

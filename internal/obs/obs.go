@@ -300,6 +300,46 @@ func NewCollector(cfg Config) *Collector {
 	return c
 }
 
+// Reset re-arms a pooled collector for a new run with the same worker
+// count, reusing the per-worker padded slots (and each worker's span
+// backing array) so a warm telemetry-enabled search allocates nothing
+// here. It returns false — leaving the collector untouched — when the
+// requested shape differs, in which case the caller builds a fresh
+// collector with NewCollector. Like NewCollector it stamps the run
+// origin and fires OnLevelStart(0), so call it immediately before the
+// search starts.
+func (c *Collector) Reset(cfg Config) bool {
+	if c == nil || len(c.workers) != cfg.Workers {
+		return false
+	}
+	c.origin = time.Now()
+	c.tracer = cfg.Tracer
+	c.level = 0
+	c.trace = nil
+	if cfg.Trace {
+		c.trace = &Trace{
+			Workers:   cfg.Workers,
+			Sockets:   cfg.Sockets,
+			Algorithm: cfg.Algorithm,
+		}
+	}
+	for i := range c.workers {
+		ws := &c.workers[i].workerState
+		spans := ws.spans[:0]
+		*ws = workerState{
+			tracer:  c.tracer,
+			traceOn: c.trace != nil,
+			origin:  c.origin,
+			w:       i,
+			spans:   spans,
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.OnLevelStart(0)
+	}
+	return true
+}
+
 // Origin returns the run's time origin (span offsets are relative to
 // it). Zero on a nil receiver.
 func (c *Collector) Origin() time.Time {
@@ -373,14 +413,17 @@ func (c *Collector) EndLevel(start, dur time.Duration, ct Counters, more bool) {
 
 // Finish assembles and returns the structured trace, or nil when full
 // tracing was not requested. Call it only after every worker has
-// exited.
+// exited. The timelines are copied out of the per-worker span buffers,
+// so the returned Trace is self-contained: it stays valid — and safe to
+// export from another goroutine — while the collector is Reset and
+// reused by subsequent runs.
 func (c *Collector) Finish() *Trace {
 	if c == nil || c.trace == nil {
 		return nil
 	}
 	c.trace.Timelines = make([][]Span, len(c.workers))
 	for i := range c.workers {
-		c.trace.Timelines[i] = c.workers[i].spans
+		c.trace.Timelines[i] = append([]Span(nil), c.workers[i].spans...)
 	}
 	return c.trace
 }

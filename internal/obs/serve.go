@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the HTTP exposition layer over a Telemetry hub:
+//
+//   - /metrics — Prometheus text format (version 0.0.4), no external
+//     dependencies: the latency histogram with cumulative le buckets,
+//     per-outcome query counters, pool-occupancy gauges, and — when a
+//     Metrics was attached — its cumulative counters;
+//   - /debug/bfs — a JSON status page: pool occupancy, rolling
+//     1s/10s/60s QPS and error rates, latency quantiles, and the top-K
+//     slowest recent queries with per-level phase breakdowns for those
+//     the flight recorder captured.
+
+// Handler returns an http.Handler serving GET /metrics and /debug/bfs.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", t.MetricsHandler())
+	mux.Handle("/debug/bfs", t.StatusHandler())
+	return mux
+}
+
+// MetricsHandler returns the Prometheus text-format exposition handler
+// alone, for mounting on an existing mux.
+func (t *Telemetry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.WriteMetrics(w)
+	})
+}
+
+// StatusHandler returns the JSON status-page handler alone.
+func (t *Telemetry) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Status())
+	})
+}
+
+// promSec renders a nanosecond count as Prometheus seconds.
+func promSec(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WriteMetrics writes the hub's state in Prometheus text format.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	// Latency histogram: cumulative le buckets. Only buckets that close
+	// a non-empty range are emitted (plus +Inf), which keeps the series
+	// compact and remains valid exposition: le values ascend, cumulative
+	// counts are non-decreasing, and +Inf equals _count.
+	snap := t.hist.Snapshot()
+	b.WriteString("# HELP mcbfs_query_duration_seconds BFS query latency (search time; shed queries report their admission wait).\n")
+	b.WriteString("# TYPE mcbfs_query_duration_seconds histogram\n")
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		c := snap.Counts[i]
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(&b, "mcbfs_query_duration_seconds_bucket{le=%q} %d\n", promSec(bucketUpper(i)), cum)
+	}
+	fmt.Fprintf(&b, "mcbfs_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", snap.Count)
+	fmt.Fprintf(&b, "mcbfs_query_duration_seconds_sum %s\n", promSec(snap.SumNs))
+	fmt.Fprintf(&b, "mcbfs_query_duration_seconds_count %d\n", snap.Count)
+
+	// Per-outcome query totals.
+	b.WriteString("# HELP mcbfs_queries_total Queries recorded, by outcome.\n")
+	b.WriteString("# TYPE mcbfs_queries_total counter\n")
+	for o := Outcome(0); o < numOutcomes; o++ {
+		fmt.Fprintf(&b, "mcbfs_queries_total{outcome=%q} %d\n", o.String(), t.outcomes[o].Load())
+	}
+
+	// Flight-recorder threshold and pool occupancy gauges.
+	b.WriteString("# HELP mcbfs_slow_capture_threshold_seconds Current flight-recorder slow-capture threshold.\n")
+	b.WriteString("# TYPE mcbfs_slow_capture_threshold_seconds gauge\n")
+	fmt.Fprintf(&b, "mcbfs_slow_capture_threshold_seconds %s\n", promSec(uint64(t.flight.Threshold())))
+	if busy, size := t.pool(); size > 0 {
+		b.WriteString("# HELP mcbfs_pool_searchers Searchers in the serving pool.\n")
+		b.WriteString("# TYPE mcbfs_pool_searchers gauge\n")
+		fmt.Fprintf(&b, "mcbfs_pool_searchers %d\n", size)
+		b.WriteString("# HELP mcbfs_pool_searchers_busy Searchers currently borrowed by in-flight queries.\n")
+		b.WriteString("# TYPE mcbfs_pool_searchers_busy gauge\n")
+		fmt.Fprintf(&b, "mcbfs_pool_searchers_busy %d\n", busy)
+	}
+
+	// Attached Metrics counters, exported generically so the series set
+	// follows the Metrics struct without a second name table here.
+	if t.metrics != nil {
+		snap := t.metrics.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			name := "mcbfs_" + camelToSnake(k) + "_total"
+			fmt.Fprintf(&b, "# HELP %s Cumulative %s counter (obs.Metrics).\n", name, k)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+			fmt.Fprintf(&b, "%s %d\n", name, snap[k])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// camelToSnake converts a Snapshot key (e.g. "barrierWaitNs") to a
+// Prometheus-style name fragment ("barrier_wait_ns").
+func camelToSnake(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Status is the /debug/bfs JSON document.
+type Status struct {
+	// Pool is the serving pool's occupancy (zero when no gauge is
+	// registered).
+	Pool PoolStatus `json:"pool"`
+	// QPS and ErrorRate are rolling rates over 1s/10s/60s windows.
+	QPS       WindowRates `json:"qps"`
+	ErrorRate WindowRates `json:"errorRate"`
+	// Latency summarizes the histogram.
+	Latency LatencyStatus `json:"latency"`
+	// Queries is the per-outcome totals.
+	Queries map[string]int64 `json:"queries"`
+	// SlowThresholdNs is the flight recorder's current capture
+	// threshold.
+	SlowThresholdNs int64 `json:"slowThresholdNs"`
+	// Slowest is the top-K slowest queries currently in the flight
+	// ring, slowest first; captured entries carry per-level breakdowns.
+	Slowest []QueryStatus `json:"slowest"`
+}
+
+// PoolStatus is the pool-occupancy block of Status.
+type PoolStatus struct {
+	Size int `json:"size"`
+	Busy int `json:"busy"`
+}
+
+// WindowRates holds one rate per rolling window.
+type WindowRates struct {
+	S1  float64 `json:"1s"`
+	S10 float64 `json:"10s"`
+	S60 float64 `json:"60s"`
+}
+
+// LatencyStatus summarizes the latency histogram.
+type LatencyStatus struct {
+	Count uint64 `json:"count"`
+	Mean  string `json:"mean"`
+	P50   string `json:"p50"`
+	P90   string `json:"p90"`
+	P99   string `json:"p99"`
+	P999  string `json:"p999"`
+	Max   string `json:"max"`
+}
+
+// QueryStatus is one flight-recorder entry rendered for the status
+// page.
+type QueryStatus struct {
+	Seq        uint64        `json:"seq"`
+	Root       uint32        `json:"root"`
+	Start      time.Time     `json:"start"`
+	Duration   string        `json:"duration"`
+	DurationNs int64         `json:"durationNs"`
+	Levels     int           `json:"levels"`
+	Reached    int64         `json:"reached"`
+	Edges      int64         `json:"edges"`
+	Outcome    string        `json:"outcome"`
+	Algorithm  string        `json:"algorithm,omitempty"`
+	Captured   bool          `json:"captured"`
+	PerLevel   []LevelStatus `json:"perLevel,omitempty"`
+}
+
+// LevelStatus is one captured level's breakdown on the status page:
+// the folded counters plus per-phase worker nanoseconds keyed by phase
+// name.
+type LevelStatus struct {
+	Level      int              `json:"level"`
+	DurationNs int64            `json:"durationNs"`
+	Frontier   int64            `json:"frontier"`
+	Edges      int64            `json:"edges"`
+	PhaseNs    map[string]int64 `json:"phaseNs"`
+}
+
+// statusTopK is how many slowest queries the status page lists.
+const statusTopK = 8
+
+// Status assembles the /debug/bfs document.
+func (t *Telemetry) Status() Status {
+	var st Status
+	if t == nil {
+		return st
+	}
+	st.Pool.Busy, st.Pool.Size = t.pool()
+	st.QPS = WindowRates{
+		S1:  t.QPS(1 * time.Second),
+		S10: t.QPS(10 * time.Second),
+		S60: t.QPS(60 * time.Second),
+	}
+	st.ErrorRate = WindowRates{
+		S1:  t.ErrorRate(1 * time.Second),
+		S10: t.ErrorRate(10 * time.Second),
+		S60: t.ErrorRate(60 * time.Second),
+	}
+	snap := t.hist.Snapshot()
+	st.Latency = LatencyStatus{
+		Count: snap.Count,
+		Mean:  snap.Mean().String(),
+		P50:   snap.Quantile(0.50).String(),
+		P90:   snap.Quantile(0.90).String(),
+		P99:   snap.Quantile(0.99).String(),
+		P999:  snap.Quantile(0.999).String(),
+		Max:   time.Duration(snap.MaxNs).String(),
+	}
+	st.Queries = make(map[string]int64, numOutcomes)
+	for o := Outcome(0); o < numOutcomes; o++ {
+		st.Queries[o.String()] = t.outcomes[o].Load()
+	}
+	st.SlowThresholdNs = int64(t.flight.Threshold())
+	for _, rec := range t.flight.Slowest(statusTopK) {
+		st.Slowest = append(st.Slowest, renderRecord(rec))
+	}
+	return st
+}
+
+// renderRecord converts a QueryRecord into its status-page form.
+func renderRecord(rec QueryRecord) QueryStatus {
+	q := QueryStatus{
+		Seq:        rec.Seq,
+		Root:       rec.Root,
+		Start:      rec.Start,
+		Duration:   rec.Duration.String(),
+		DurationNs: int64(rec.Duration),
+		Levels:     rec.Levels,
+		Reached:    rec.Reached,
+		Edges:      rec.Edges,
+		Outcome:    rec.Outcome.String(),
+		Algorithm:  rec.Algorithm,
+		Captured:   rec.Captured,
+	}
+	for _, lb := range rec.PerLevel {
+		ls := LevelStatus{
+			Level:      lb.Level,
+			DurationNs: int64(lb.Duration),
+			Frontier:   lb.Frontier,
+			Edges:      lb.Edges,
+			PhaseNs:    make(map[string]int64, NumPhases),
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			ls.PhaseNs[p.String()] = int64(lb.Phases[p])
+		}
+		q.PerLevel = append(q.PerLevel, ls)
+	}
+	return q
+}

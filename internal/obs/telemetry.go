@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TelemetryOptions configures a Telemetry hub. The zero value is usable:
+// one histogram shard, a 256-entry flight ring, an adaptive-only slow
+// threshold, and no Metrics attachment.
+type TelemetryOptions struct {
+	// Shards is the latency histogram's shard count; size it to the
+	// number of concurrent recorders (the Pool uses its Searcher count).
+	// Values below 1 become 1.
+	Shards int
+	// FlightSize is the flight recorder's ring length. 0 means 256.
+	FlightSize int
+	// SlowThreshold floors the flight recorder's adaptive slow-capture
+	// threshold: queries faster than it never retain their per-level
+	// breakdown even when the current p99 is lower. 0 means adaptive
+	// only (and a cold recorder captures everything until its first
+	// threshold refresh).
+	SlowThreshold time.Duration
+	// Metrics, when non-nil, is exported on /metrics alongside the
+	// telemetry's own series. The Telemetry does not feed it — attach
+	// Metrics.Tracer() / PoolOptions.Metrics for that as usual.
+	Metrics *Metrics
+}
+
+// Telemetry is the serving-telemetry hub: a sharded latency histogram,
+// a slow-query flight recorder, sliding-window QPS/error counters,
+// per-outcome totals, and the HTTP exposition over all of them
+// (Prometheus text /metrics, JSON /debug/bfs — see serve.go).
+//
+// One Telemetry is shared by every session serving a pool (or any set
+// of concurrent recorders); RecordQuery is safe for concurrent use and
+// allocation-free on the warm path. A nil *Telemetry disables every
+// recording method.
+type Telemetry struct {
+	metrics  *Metrics
+	hist     *Histogram
+	flight   *FlightRecorder
+	ok       SlidingCounter
+	errs     SlidingCounter
+	outcomes [numOutcomes]atomic.Int64
+	// poolGauge reports (busy, size) of the serving pool; registered by
+	// Pool, read by the status page. Atomic so registration can trail
+	// the first queries.
+	poolGauge atomic.Pointer[func() (busy, size int)]
+	// epoch anchors process-relative timestamps on the status page.
+	epoch time.Time
+}
+
+// NewTelemetry builds a telemetry hub.
+func NewTelemetry(opt TelemetryOptions) *Telemetry {
+	size := opt.FlightSize
+	if size <= 0 {
+		size = 256
+	}
+	hist := NewHistogram(opt.Shards)
+	return &Telemetry{
+		metrics: opt.Metrics,
+		hist:    hist,
+		flight:  newFlightRecorder(size, opt.SlowThreshold, hist),
+		epoch:   time.Now(),
+	}
+}
+
+// Histogram returns the latency histogram (nil on a nil receiver).
+func (t *Telemetry) Histogram() *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.hist
+}
+
+// Flight returns the flight recorder (nil on a nil receiver).
+func (t *Telemetry) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
+// AttachedMetrics returns the Metrics exported on /metrics, or nil.
+func (t *Telemetry) AttachedMetrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// SetPoolGauge registers the pool-occupancy callback shown on
+// /debug/bfs and /metrics; fn must be safe for concurrent use. The Pool
+// registers itself; standalone users may register anything (or
+// nothing).
+func (t *Telemetry) SetPoolGauge(fn func() (busy, size int)) {
+	if t == nil {
+		return
+	}
+	t.poolGauge.Store(&fn)
+}
+
+// RecordQuery deposits one finished query: latency into the histogram's
+// given shard, the outcome into the per-outcome totals and the rolling
+// ok/error windows, and the sample into the flight recorder (which
+// retains s.PerLevel only for slow queries). Safe for concurrent use;
+// allocation-free once the flight ring's slot capacities have warmed.
+// No-op on a nil receiver.
+func (t *Telemetry) RecordQuery(shard int, s QuerySample) {
+	if t == nil {
+		return
+	}
+	t.hist.Record(shard, s.Duration)
+	o := s.Outcome
+	if o >= numOutcomes {
+		o = numOutcomes - 1
+	}
+	t.outcomes[o].Add(1)
+	if o == OutcomeOK {
+		t.ok.Add(1)
+	} else {
+		t.errs.Add(1)
+	}
+	t.flight.note(s)
+}
+
+// RecordShed deposits a query refused at pool admission: it never
+// searched, so the sample carries only the time spent waiting.
+func (t *Telemetry) RecordShed(start time.Time, d time.Duration) {
+	t.RecordQuery(0, QuerySample{Start: start, Duration: d, Outcome: OutcomeShed})
+}
+
+// OutcomeCount returns the total number of queries recorded with the
+// given outcome.
+func (t *Telemetry) OutcomeCount(o Outcome) int64 {
+	if t == nil || o >= numOutcomes {
+		return 0
+	}
+	return t.outcomes[o].Load()
+}
+
+// QPS returns the rolling queries-per-second (all outcomes) over the
+// trailing window.
+func (t *Telemetry) QPS(window time.Duration) float64 {
+	if t == nil {
+		return 0
+	}
+	return t.ok.Rate(window) + t.errs.Rate(window)
+}
+
+// ErrorRate returns the rolling non-OK outcomes per second over the
+// trailing window.
+func (t *Telemetry) ErrorRate(window time.Duration) float64 {
+	if t == nil {
+		return 0
+	}
+	return t.errs.Rate(window)
+}
+
+// pool reads the registered pool gauge, or (0, 0) when none is set.
+func (t *Telemetry) pool() (busy, size int) {
+	if t == nil {
+		return 0, 0
+	}
+	if fn := t.poolGauge.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0, 0
+}

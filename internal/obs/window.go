@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// windowSlots is the ring length of a SlidingCounter: one slot per
+// second, enough to answer 60-second windows with slack for slot reuse.
+const windowSlots = 64
+
+// SlidingCounter is a lock-free sliding-window event counter with
+// one-second resolution: Add lands events in the current second's slot,
+// Rate sums the trailing window. The zero value is ready to use.
+//
+// Writers are wait-free (one atomic load + add, plus a CAS when the
+// slot rolls to a new second); a burst racing the roll can miscount a
+// handful of events at a second boundary, which is acceptable for the
+// monitoring rates this backs.
+type SlidingCounter struct {
+	slots [windowSlots]windowSlot
+	// nowNanos overrides the clock in tests; nil means time.Now.
+	nowNanos func() int64
+}
+
+// windowSlot is one second's tally, padded to keep concurrent writers
+// of adjacent seconds off a shared cache line.
+type windowSlot struct {
+	sec   atomic.Int64
+	count atomic.Int64
+	_     [48]byte
+}
+
+func (c *SlidingCounter) unix() int64 {
+	if c.nowNanos != nil {
+		return c.nowNanos() / int64(time.Second)
+	}
+	return time.Now().Unix()
+}
+
+// Add records n events at the current time.
+func (c *SlidingCounter) Add(n int64) {
+	sec := c.unix()
+	s := &c.slots[sec%windowSlots]
+	if old := s.sec.Load(); old != sec {
+		if s.sec.CompareAndSwap(old, sec) {
+			s.count.Store(0)
+		}
+	}
+	s.count.Add(n)
+}
+
+// Total returns the number of events in the trailing window, including
+// the current (partial) second. Windows are clamped to one second at
+// least and the ring length minus slack at most.
+func (c *SlidingCounter) Total(window time.Duration) int64 {
+	w := int64(window / time.Second)
+	if w < 1 {
+		w = 1
+	}
+	if w > windowSlots-2 {
+		w = windowSlots - 2
+	}
+	now := c.unix()
+	var total int64
+	for sec := now - w + 1; sec <= now; sec++ {
+		s := &c.slots[sec%windowSlots]
+		if s.sec.Load() == sec {
+			total += s.count.Load()
+		}
+	}
+	return total
+}
+
+// Rate returns events per second over the trailing window.
+func (c *SlidingCounter) Rate(window time.Duration) float64 {
+	w := window / time.Second
+	if w < 1 {
+		w = 1
+	}
+	if w > windowSlots-2 {
+		w = windowSlots - 2
+	}
+	return float64(c.Total(window)) / float64(w)
+}

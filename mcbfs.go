@@ -99,6 +99,50 @@ type Phase = obs.Phase
 // publishable via expvar.
 type Metrics = obs.Metrics
 
+// Telemetry is the serving telemetry hub: a lock-free sharded latency
+// histogram, per-outcome rolling-window counters, and a flight recorder
+// that retains the slowest recent queries with their per-level phase
+// breakdowns. Attach one to a Pool (PoolOptions.Telemetry, or
+// implicitly via PoolOptions.ServeMonitor) or to a Searcher
+// (Options.Telemetry), and expose it over HTTP with Telemetry.Handler —
+// Prometheus text format at /metrics, JSON status at /debug/bfs.
+type Telemetry = obs.Telemetry
+
+// TelemetryOptions configures NewTelemetry.
+type TelemetryOptions = obs.TelemetryOptions
+
+// NewTelemetry builds a telemetry hub; share one across everything
+// that should aggregate into the same histogram and status page.
+func NewTelemetry(opt TelemetryOptions) *Telemetry { return obs.NewTelemetry(opt) }
+
+// Histogram is a lock-free sharded log-bucketed latency histogram
+// (≤12.5% relative bucket width); the building block Telemetry uses,
+// exported for standalone latency measurement.
+type Histogram = obs.Histogram
+
+// NewHistogram builds a histogram with the given number of
+// contention-free shards (one per recording goroutine).
+func NewHistogram(shards int) *Histogram { return obs.NewHistogram(shards) }
+
+// QuerySample is one query's telemetry record as handed to
+// Telemetry.RecordQuery; QueryRecord is its retained flight-recorder
+// form.
+type (
+	QuerySample = obs.QuerySample
+	QueryRecord = obs.QueryRecord
+)
+
+// Outcome classifies how a query ended in telemetry.
+type Outcome = obs.Outcome
+
+// Query outcomes.
+const (
+	OutcomeOK        = obs.OutcomeOK
+	OutcomeCancelled = obs.OutcomeCancelled
+	OutcomeShed      = obs.OutcomeShed
+	OutcomePanic     = obs.OutcomePanic
+)
+
 // Phases of a worker's timeline.
 const (
 	PhaseLocalScan     = obs.PhaseLocalScan

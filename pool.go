@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"mcbfs/internal/core"
+	"mcbfs/internal/obs"
 )
 
 // Pool errors. ErrPoolSaturated wraps the context error that expired
@@ -48,6 +51,21 @@ type PoolOptions struct {
 	// Cancelled (queries unwound by context), Shed (admission failures),
 	// Recovered (Searchers rebuilt after a panicking query).
 	Metrics *Metrics
+	// Telemetry, when non-nil, is the serving telemetry hub every query
+	// reports to: latency into a per-Searcher-sharded histogram,
+	// outcomes into rolling-window counters, and slow queries — with
+	// per-level phase breakdowns — into the flight recorder. Share one
+	// hub across pools to aggregate them, or leave nil and set
+	// ServeMonitor to have the pool build its own.
+	Telemetry *Telemetry
+	// ServeMonitor, when non-empty, is a TCP listen address (e.g.
+	// ":6060" or "127.0.0.1:0") on which the pool serves its telemetry
+	// over HTTP: Prometheus text format at /metrics and a JSON status
+	// page at /debug/bfs. The bound address is available from
+	// Pool.MonitorAddr; the server shuts down with Close. When
+	// Telemetry is nil, setting ServeMonitor creates a hub (wired to
+	// Metrics, one histogram shard per Searcher) automatically.
+	ServeMonitor string
 }
 
 // Pool is a fixed-size pool of warm Searchers over one graph, for
@@ -80,6 +98,13 @@ type Pool struct {
 	// slot that will never be refilled.
 	live   int
 	broken error
+
+	// tel is the resolved telemetry hub (PoolOptions.Telemetry, or one
+	// the pool built for ServeMonitor); monitor the HTTP server bound
+	// to monitorAddr, both nil/empty when monitoring is off.
+	tel         *obs.Telemetry
+	monitor     *http.Server
+	monitorAddr string
 }
 
 // NewPool builds a pool of warm Searchers over g. All Searchers are
@@ -106,8 +131,20 @@ func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
 		closing: make(chan struct{}),
 		live:    size,
 	}
+	p.tel = opt.Telemetry
+	if p.tel == nil && opt.ServeMonitor != "" {
+		p.tel = obs.NewTelemetry(obs.TelemetryOptions{Shards: size, Metrics: opt.Metrics})
+	}
+	if p.tel != nil {
+		p.tel.SetPoolGauge(func() (busy, total int) {
+			return cap(p.free) - len(p.free), cap(p.free)
+		})
+	}
+	searchOpt := opt.Search
+	searchOpt.Telemetry = p.tel
 	for i := 0; i < size; i++ {
-		s, err := core.NewSearcher(g, opt.Search)
+		searchOpt.TelemetryShard = i
+		s, err := core.NewSearcher(g, searchOpt)
 		if err != nil {
 			for len(p.free) > 0 {
 				(<-p.free).Close()
@@ -116,8 +153,30 @@ func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
 		}
 		p.free <- s
 	}
+	if opt.ServeMonitor != "" {
+		ln, err := net.Listen("tcp", opt.ServeMonitor)
+		if err != nil {
+			for len(p.free) > 0 {
+				(<-p.free).Close()
+			}
+			return nil, fmt.Errorf("mcbfs: monitor listen on %q: %w", opt.ServeMonitor, err)
+		}
+		p.monitorAddr = ln.Addr().String()
+		p.monitor = &http.Server{Handler: p.tel.Handler()}
+		go func() { _ = p.monitor.Serve(ln) }()
+	}
 	return p, nil
 }
+
+// Telemetry returns the pool's telemetry hub: PoolOptions.Telemetry if
+// one was supplied, the hub the pool built for ServeMonitor, or nil
+// when monitoring is off.
+func (p *Pool) Telemetry() *Telemetry { return p.tel }
+
+// MonitorAddr returns the bound address of the pool's monitoring HTTP
+// server ("" when ServeMonitor was not set) — useful with ":0" to
+// discover the kernel-assigned port.
+func (p *Pool) MonitorAddr() string { return p.monitorAddr }
 
 // Size returns the number of Searchers the pool was built with.
 func (p *Pool) Size() int { return cap(p.free) }
@@ -144,12 +203,15 @@ func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error)
 			defer cancel()
 		}
 	}
+	qstart := p.telNow()
 	s, err := p.acquire(ctx)
 	if err != nil {
+		p.noteShed(qstart, err)
 		return Result{}, err
 	}
 	r, err, panicked := p.searchOn(s, ctx, root, q)
 	if panicked {
+		p.notePanic(root, qstart)
 		p.rebuild(s)
 		return Result{}, err
 	}
@@ -180,12 +242,15 @@ func (p *Pool) QueryFunc(ctx context.Context, root Vertex, q Query, fn func(*Res
 			defer cancel()
 		}
 	}
+	qstart := p.telNow()
 	s, err := p.acquire(ctx)
 	if err != nil {
+		p.noteShed(qstart, err)
 		return err
 	}
 	err, panicked := p.runWith(s, ctx, root, q, fn)
 	if panicked {
+		p.notePanic(root, qstart)
 		p.rebuild(s)
 		return err
 	}
@@ -250,6 +315,43 @@ func (p *Pool) runWith(s *core.Searcher, ctx context.Context, root Vertex, q Que
 	return fn(res), false
 }
 
+// telNow stamps the query's admission time, but only when a telemetry
+// hub will consume it — the no-telemetry fast path stays free of the
+// extra clock read.
+func (p *Pool) telNow() time.Time {
+	if p.tel == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// noteShed reports an admission failure to the telemetry hub; the
+// recorded latency is the time the query spent waiting before it was
+// refused. Cancellation and search errors are recorded by the Searcher
+// itself, so only the saturated path is noted here.
+func (p *Pool) noteShed(qstart time.Time, err error) {
+	if p.tel == nil || !errors.Is(err, ErrPoolSaturated) {
+		return
+	}
+	p.tel.RecordShed(qstart, time.Since(qstart))
+}
+
+// notePanic reports a panicking query to the telemetry hub. The
+// Searcher never reached its own recording point, so the pool records
+// the sample — scalars only, on shard 0 (panics are rare enough that
+// shard contention is irrelevant).
+func (p *Pool) notePanic(root Vertex, qstart time.Time) {
+	if p.tel == nil {
+		return
+	}
+	p.tel.RecordQuery(0, obs.QuerySample{
+		Root:     uint32(root),
+		Start:    qstart,
+		Duration: time.Since(qstart),
+		Outcome:  obs.OutcomePanic,
+	})
+}
+
 // countCancelled feeds the Cancelled serving counter for queries the
 // context unwound.
 func (p *Pool) countCancelled(err error) {
@@ -310,6 +412,9 @@ func (p *Pool) Close() error {
 	n := p.live
 	p.mu.Unlock()
 	close(p.closing)
+	if p.monitor != nil {
+		_ = p.monitor.Close()
+	}
 	var firstErr error
 	for i := 0; i < n; i++ {
 		s := <-p.free // waits for in-flight queries to finish
