@@ -640,3 +640,74 @@ func BenchmarkInstrumentOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchThroughput measures the MS-BFS batched query engine on
+// the scale-18 R-MAT workload: one iteration runs one shared traversal
+// serving `width` lanes, so queries/s is width / batch-duration. The
+// single/warm sub-benchmark is the comparison point — the same graph
+// served one query at a time on a warm amortized Searcher. The
+// acceptance gauges are queries/s at width 64 (the edge-scan
+// amortization must beat the single-lane session by >= 3x) and
+// allocs/op (the warm batched path must not allocate).
+func BenchmarkBatchThroughput(b *testing.B) {
+	g := benchRMAT(b, 18, 16<<18)
+	n := uint64(g.NumVertices())
+	roots := make([]graph.Vertex, core.MaxLanes)
+	for i := range roots {
+		roots[i] = graph.Vertex((uint64(i)*2654435761 + 1) % n)
+	}
+	b.Run("single/warm", func(b *testing.B) {
+		s, err := core.NewSearcher(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.BFS(roots[0]); err != nil { // absorb the cold search
+			b.Fatal(err)
+		}
+		var edges int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res, err := s.BFS(roots[i%len(roots)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			edges += res.EdgesTraversed
+		}
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			b.ReportMetric(float64(b.N)/elapsed, "queries/s")
+			b.ReportMetric(float64(edges)/elapsed/1e6, "ME/s")
+		}
+	})
+	for _, width := range []int{1, 8, 32, 64} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			bs, err := core.NewBatchSearcher(g, core.BatchOptions{Width: width})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bs.Close()
+			if _, err := bs.Search(roots[:width]); err != nil { // absorb the cold batch
+				b.Fatal(err)
+			}
+			var laneEdges int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := bs.Search(roots[:width])
+				if err != nil {
+					b.Fatal(err)
+				}
+				for l := 0; l < width; l++ {
+					laneEdges += res.Edges[l]
+				}
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(b.N*width)/elapsed, "queries/s")
+				b.ReportMetric(float64(laneEdges)/elapsed/1e6, "ME/s")
+			}
+		})
+	}
+}

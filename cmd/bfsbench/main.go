@@ -33,6 +33,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
@@ -49,6 +50,8 @@ func main() {
 		searches  = flag.Int("searches", 0, "run N back-to-back searches on one amortized session and report queries/sec (cold vs warm)")
 		clients   = flag.Int("clients", 1, "with -searches: issue the N queries from M concurrent clients through a Searcher pool, reporting queries/sec and p50/p99 latency")
 		poolSize  = flag.Int("pool", 0, "with -clients: number of pooled Searchers (0 = GOMAXPROCS/2 capped at -clients)")
+		batch     = flag.Int("batch", 0, "with -searches: MS-BFS lane width — single-client mode replays the roots through one batched session; clients mode runs the pool in batching mode, coalescing concurrent queries (0 = off, max 64)")
+		batchWin  = flag.Duration("batch-window", 100*time.Microsecond, "with -clients and -batch: how long an admission window stays open to coalesce queries into one traversal")
 		traceOut  = flag.String("trace", "", "run one traced BFS and write a Chrome trace-event JSON file (view in Perfetto)")
 		breakdown = flag.Bool("breakdown", false, "run one traced BFS and print its per-level phase breakdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
@@ -145,10 +148,10 @@ func main() {
 
 	if *searches > 0 {
 		if *clients > 1 {
-			if err := runClientSearches(out, cfg, *searches, *clients, *poolSize); err != nil {
+			if err := runClientSearches(out, cfg, *searches, *clients, *poolSize, *batch, *batchWin); err != nil {
 				fatal("bfsbench: searches: %v\n", err)
 			}
-		} else if err := runSearches(out, cfg, *searches); err != nil {
+		} else if err := runSearches(out, cfg, *searches, *batch); err != nil {
 			fatal("bfsbench: searches: %v\n", err)
 		}
 	}

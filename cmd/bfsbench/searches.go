@@ -45,7 +45,11 @@ func sampleRoots(g *graph.Graph, want int, seed uint64) ([]graph.Vertex, int) {
 // the figure of merit for repeated-search workloads (landmark tables,
 // st-queries, K3-style neighbourhood extraction) as opposed to the
 // single-search TEPS of the experiment tables.
-func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
+// When batchWidth > 0, the same roots are then replayed through a
+// BatchSearcher at that lane width, reporting batched queries/sec
+// against the single-lane session — the MS-BFS amortization measured on
+// identical work.
+func runSearches(w io.Writer, cfg harnessConfig, searches, batchWidth int) error {
 	if searches < 1 {
 		return fmt.Errorf("searches %d must be >= 1", searches)
 	}
@@ -91,9 +95,9 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 		}
 	}
 
+	singleQPS := float64(len(roots)) / (setup + total).Seconds()
 	fmt.Fprintf(w, "searches=%d scale=%d: %.1f queries/sec over one session (setup %v amortized)\n",
-		len(roots), log2(n), float64(len(roots))/(setup+total).Seconds(),
-		setup.Round(time.Microsecond))
+		len(roots), log2(n), singleQPS, setup.Round(time.Microsecond))
 	fmt.Fprintf(w, "  cold:  %s TEPS (query 0, session setup included)\n", stats.FormatRate(coldTEPS))
 	if len(teps) > 1 {
 		warm := teps[1:]
@@ -103,6 +107,49 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 			stats.FormatRate(stats.Quantile(warm, 0.5)),
 			stats.FormatRate(stats.Quantile(warm, 1)))
 	}
+	if batchWidth > 0 {
+		return runBatchedSearches(w, g, roots, batchWidth, cfg, singleQPS)
+	}
+	return nil
+}
+
+// runBatchedSearches replays roots through one MS-BFS session at the
+// given lane width and prints batched throughput next to the
+// single-lane session's queries/sec.
+func runBatchedSearches(w io.Writer, g *graph.Graph, roots []graph.Vertex, width int, cfg harnessConfig, singleQPS float64) error {
+	if width > core.MaxLanes {
+		width = core.MaxLanes
+	}
+	setupStart := time.Now()
+	bs, err := core.NewBatchSearcher(g, core.BatchOptions{
+		Width:     width,
+		Telemetry: cfg.Telemetry,
+	})
+	if err != nil {
+		return err
+	}
+	defer bs.Close()
+	elapsed := time.Since(setupStart)
+	var laneEdges, scanned int64
+	for off := 0; off < len(roots); off += width {
+		chunk := roots[off:min(off+width, len(roots))]
+		res, err := bs.Search(chunk)
+		if err != nil {
+			return err
+		}
+		elapsed += res.Duration
+		scanned += res.EdgesScanned
+		for l := range chunk {
+			laneEdges += res.Edges[l]
+		}
+	}
+	qps := float64(len(roots)) / elapsed.Seconds()
+	amort := 1.0
+	if scanned > 0 {
+		amort = float64(laneEdges) / float64(scanned)
+	}
+	fmt.Fprintf(w, "  batch: width %d: %.1f queries/sec (%.2fx vs single-lane), %s aggregate TEPS, %.1fx edge-scan amortization\n",
+		width, qps, qps/singleQPS, stats.FormatRate(float64(laneEdges)/elapsed.Seconds()), amort)
 	return nil
 }
 
@@ -116,7 +163,11 @@ func runSearches(w io.Writer, cfg harnessConfig, searches int) error {
 // shard per client, so the measurement adds no cross-client contention
 // and no per-query allocation — unlike the earlier version, which
 // appended every latency to a slice and sorted the lot.
-func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize int) error {
+// When batchLanes > 0, the pool runs in batching mode: concurrently
+// admitted queries coalesce (up to batchLanes of them per admission
+// window) into shared MS-BFS traversals instead of each borrowing a
+// Searcher.
+func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize, batchLanes int, batchWindow time.Duration) error {
 	if searches < 1 {
 		return fmt.Errorf("searches %d must be >= 1", searches)
 	}
@@ -151,12 +202,16 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 
 	var serving obs.Metrics
 	setupStart := time.Now()
-	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+	popt := mcbfs.PoolOptions{
 		Size:      poolSize,
 		Search:    mcbfs.Options{Threads: threads, Tracer: cfg.Tracer},
 		Metrics:   &serving,
 		Telemetry: cfg.Telemetry,
-	})
+	}
+	if batchLanes > 0 {
+		popt.Batching = mcbfs.BatchingOptions{Lanes: batchLanes, Window: batchWindow}
+	}
+	pool, err := mcbfs.NewPool(g, popt)
 	if err != nil {
 		return err
 	}
@@ -210,6 +265,15 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 		time.Duration(dist.MaxNs).Round(time.Microsecond))
 	fmt.Fprintf(w, "  serving: cancelled=%d shed=%d recovered=%d\n",
 		snap["cancelled"], snap["shed"], snap["recovered"])
+	if batchLanes > 0 && snap["batchTraversals"] > 0 {
+		meanWidth := float64(snap["batchLanes"]) / float64(snap["batchTraversals"])
+		amort := 1.0
+		if snap["batchEdges"] > 0 {
+			amort = float64(snap["batchLaneEdges"]) / float64(snap["batchEdges"])
+		}
+		fmt.Fprintf(w, "  batching: %d traversals served %d queries (mean width %.1f of %d lanes, window %v, %.1fx edge-scan amortization)\n",
+			snap["batchTraversals"], snap["batchLanes"], meanWidth, batchLanes, batchWindow, amort)
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ package algo
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"mcbfs/internal/core"
 	"mcbfs/internal/graph"
@@ -46,13 +47,18 @@ func (c *Components) GiantFraction() float64 {
 }
 
 // ConnectedComponents labels the weakly connected components of g
-// (edges are treated as undirected) by repeated BFS. opt configures the
-// underlying searches; large components are explored with the parallel
-// tiers, so the dominant cost — the giant component of a power-law
-// graph — parallelizes exactly like a single BFS.
+// (edges are treated as undirected) by multi-source BFS: each batch
+// seeds one MS-BFS lane per candidate component root, so up to
+// core.MaxLanes components are flooded in a single shared adjacency
+// pass. The long tail of small components — where the classic
+// one-BFS-per-component loop pays a full frontier scan each — costs
+// 1/64th the passes; the giant component of a power-law graph still
+// parallelizes across opt.Threads workers like a single BFS.
 //
-// If g is already symmetric, pass symmetric=true to skip building the
-// undirected copy.
+// opt's Threads, PinThreads, Telemetry and TelemetryShard configure
+// the underlying MS-BFS session (Algorithm is ignored: the lane engine
+// is its own tier). If g is already symmetric, pass symmetric=true to
+// skip building the undirected copy.
 func ConnectedComponents(g *graph.Graph, symmetric bool, opt core.Options) (*Components, error) {
 	if g == nil {
 		return nil, errors.New("algo: nil graph")
@@ -66,33 +72,64 @@ func ConnectedComponents(g *graph.Graph, symmetric bool, opt core.Options) (*Com
 	for i := range label {
 		label[i] = NoComponent
 	}
-	// One search session covers every component: after the giant
-	// component's search, the small-component searches pay only an
-	// O(touched) reset each instead of re-zeroing n-sized arrays.
-	searcher, err := core.NewSearcher(u, opt)
+	// One session covers every batch: after the giant component's
+	// batch, later batches pay only an O(touched) reset each instead
+	// of re-zeroing n-sized arrays.
+	bs, err := core.NewBatchSearcher(u, core.BatchOptions{
+		Width:          core.MaxLanes,
+		Threads:        opt.Threads,
+		PinThreads:     opt.PinThreads,
+		Telemetry:      opt.Telemetry,
+		TelemetryShard: opt.TelemetryShard,
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer searcher.Close()
+	defer bs.Close()
 	var sizes []int64
+	roots := make([]graph.Vertex, 0, core.MaxLanes)
+	laneComp := make([]int32, core.MaxLanes)
 	next := int32(0)
-	for v := 0; v < n; v++ {
-		if label[v] != NoComponent {
-			continue
+	for v := 0; v < n; {
+		// Gather the next batch of candidate roots: the lowest
+		// unlabeled vertices. Two candidates may share a component —
+		// the lane-inheritance rule below resolves that after the
+		// search. Everything a lane can reach is unlabeled (a weak
+		// component is always flooded whole), so labels stay stable
+		// across batches.
+		roots = roots[:0]
+		for ; v < n && len(roots) < core.MaxLanes; v++ {
+			if label[v] == NoComponent {
+				roots = append(roots, graph.Vertex(v))
+			}
 		}
-		res, err := searcher.BFS(graph.Vertex(v))
+		if len(roots) == 0 {
+			break
+		}
+		res, err := bs.Search(roots)
 		if err != nil {
 			return nil, err
 		}
-		var size int64
-		for w, p := range res.Parents {
-			if p != core.NoParent && label[w] == NoComponent {
-				label[w] = next
-				size++
+		// Lane i founds a new component iff it is the lowest lane to
+		// reach its own root; otherwise an earlier lane of the same
+		// component flooded it and lane i inherits that label.
+		// Candidates ascend, so components keep the sequential loop's
+		// ascending-smallest-member numbering.
+		for i, r := range roots {
+			low := bits.TrailingZeros64(res.SeenMask(r))
+			if low == i {
+				laneComp[i] = next
+				next++
+				sizes = append(sizes, 0)
+			} else {
+				laneComp[i] = laneComp[low]
 			}
 		}
-		sizes = append(sizes, size)
-		next++
+		for _, w := range res.Touched() {
+			c := laneComp[bits.TrailingZeros64(res.SeenMask(w))]
+			label[w] = c
+			sizes[c]++
+		}
 	}
 	return &Components{Label: label, Count: int(next), Sizes: sizes}, nil
 }

@@ -201,6 +201,79 @@ func (a *Atomic) ResetWords(lo, hi int) {
 // Words returns the number of 64-bit words backing the bitmap.
 func (a *Atomic) Words() int { return len(a.words) }
 
+// Lanes is a dense vector of 64-bit lane masks, one whole word per
+// element — the multi-source generalization of the visited bitmap. Where
+// Atomic packs 64 vertices into one word to shrink a single search's
+// working set, Lanes packs 64 *searches* into one word per vertex: bit l
+// of word v records whether lane l's BFS has seen vertex v, so a batch
+// of up to 64 traversals shares one working set and one pass over each
+// adjacency list.
+//
+// Or is the multi-bit analogue of Atomic.TestAndSet: it returns the
+// word's previous value, from which the caller derives which lane bits
+// it newly claimed. Load is the cheap probe of the paper's
+// double-checked idiom lifted to lane masks — probe first, and only when
+// some wanted bit looks clear pay the locked OR.
+type Lanes struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewLanes returns a Lanes vector with n elements, all zero. It panics
+// if n < 0.
+func NewLanes(n int) *Lanes {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative size %d", n))
+	}
+	return &Lanes{words: make([]atomic.Uint64, n), n: n}
+}
+
+// Len returns the number of elements.
+func (l *Lanes) Len() int { return l.n }
+
+// Load returns element i's lane mask with a single atomic load — the
+// inexpensive probe half of the double-checked claim.
+func (l *Lanes) Load(i int) uint64 {
+	return l.words[i].Load()
+}
+
+// Or sets the bits of mask in element i and returns the element's
+// previous value. Like Atomic.TestAndSet it is a CAS loop that
+// short-circuits without a write when every wanted bit is already set —
+// the common case once a batch's lanes converge on the same frontier.
+func (l *Lanes) Or(i int, mask uint64) uint64 {
+	w := &l.words[i]
+	for {
+		old := w.Load()
+		if old&mask == mask {
+			return old
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return old
+		}
+	}
+}
+
+// Store sets element i to mask, unconditionally. Quiescent-only in the
+// same sense as Reset: session resets use it between traversals, never
+// during one.
+func (l *Lanes) Store(i int, mask uint64) {
+	l.words[i].Store(mask)
+}
+
+// ResetWords zeroes elements [lo, hi) — the shard primitive of a
+// parallel full clear. Quiescent-only.
+func (l *Lanes) ResetWords(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		l.words[i].Store(0)
+	}
+}
+
+// Bytes returns the size of the backing storage in bytes (8 per
+// element; a 64-lane batch over 32 M vertices carries 256 MB of lane
+// state but amortizes every adjacency scan across the whole batch).
+func (l *Lanes) Bytes() int { return len(l.words) * 8 }
+
 // Count returns the number of set bits. The count is only exact when no
 // concurrent mutation is in flight.
 func (a *Atomic) Count() int {

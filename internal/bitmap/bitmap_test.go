@@ -352,3 +352,94 @@ func BenchmarkAtomicDoubleChecked(b *testing.B) {
 		}
 	}
 }
+
+func TestLanesNewAllZero(t *testing.T) {
+	l := NewLanes(100)
+	if l.Len() != 100 {
+		t.Errorf("Len = %d, want 100", l.Len())
+	}
+	if l.Bytes() != 800 {
+		t.Errorf("Bytes = %d, want 800", l.Bytes())
+	}
+	for i := 0; i < 100; i++ {
+		if l.Load(i) != 0 {
+			t.Fatalf("word %d = %#x in fresh Lanes", i, l.Load(i))
+		}
+	}
+}
+
+func TestLanesNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLanes(-1) did not panic")
+		}
+	}()
+	NewLanes(-1)
+}
+
+func TestLanesOrReturnsPrevious(t *testing.T) {
+	l := NewLanes(4)
+	if old := l.Or(1, 0b0101); old != 0 {
+		t.Errorf("first Or returned %#x, want 0", old)
+	}
+	if old := l.Or(1, 0b0110); old != 0b0101 {
+		t.Errorf("second Or returned %#x, want 0b0101", old)
+	}
+	if got := l.Load(1); got != 0b0111 {
+		t.Errorf("word = %#x, want 0b0111", got)
+	}
+	// Subset already present: short-circuit still reports the old value.
+	if old := l.Or(1, 0b0001); old != 0b0111 {
+		t.Errorf("subset Or returned %#x, want 0b0111", old)
+	}
+	if l.Load(0) != 0 || l.Load(2) != 0 {
+		t.Error("Or disturbed neighbouring words")
+	}
+}
+
+func TestLanesStoreAndResetWords(t *testing.T) {
+	l := NewLanes(10)
+	for i := 0; i < 10; i++ {
+		l.Store(i, uint64(i)+1)
+	}
+	l.ResetWords(2, 5)
+	for i := 0; i < 10; i++ {
+		want := uint64(i) + 1
+		if i >= 2 && i < 5 {
+			want = 0
+		}
+		if got := l.Load(i); got != want {
+			t.Errorf("word %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+// TestLanesConcurrentOr hammers one word from many goroutines, each
+// claiming a distinct lane bit; every claim must be won exactly once
+// and the word must end with every bit set.
+func TestLanesConcurrentOr(t *testing.T) {
+	l := NewLanes(1)
+	var wg sync.WaitGroup
+	wins := make([]int, 64)
+	for lane := 0; lane < 64; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			mask := uint64(1) << uint(lane)
+			for k := 0; k < 100; k++ {
+				if old := l.Or(0, mask); old&mask == 0 {
+					wins[lane]++
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if got := l.Load(0); got != ^uint64(0) {
+		t.Errorf("word = %#x, want all ones", got)
+	}
+	for lane, w := range wins {
+		if w != 1 {
+			t.Errorf("lane %d claimed %d times, want exactly once", lane, w)
+		}
+	}
+}

@@ -156,3 +156,31 @@ func TestResultString(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBatch(t *testing.T) {
+	spec := DefaultSpec(10)
+	spec.Roots = 70 // forces two chunks: 64 + 6
+	spec.Options = core.Options{Threads: 2}
+	spec.Batch = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchRootsRun != res.RootsRun {
+		t.Errorf("BatchRootsRun = %d, want %d", res.BatchRootsRun, res.RootsRun)
+	}
+	if res.BatchDuration <= 0 || res.BatchTEPS <= 0 || res.BatchQueriesPerSec <= 0 {
+		t.Errorf("batch stats not populated: dur=%v teps=%v qps=%v",
+			res.BatchDuration, res.BatchTEPS, res.BatchQueriesPerSec)
+	}
+	// Lanes share scans, so attribution can only meet or beat 1x.
+	if res.BatchAmortization < 1 {
+		t.Errorf("BatchAmortization = %v, want >= 1", res.BatchAmortization)
+	}
+	if !res.Validated {
+		t.Error("batched trees failed validation")
+	}
+	if s := res.String(); !strings.Contains(s, "batched") {
+		t.Errorf("String() omits batch stats: %s", s)
+	}
+}

@@ -42,6 +42,17 @@ type Metrics struct {
 	// deadline (graph500 -deadline) — distinct from Cancelled, which the
 	// serving layer feeds per query.
 	TimedOut atomic.Int64
+	// BatchTraversals counts MS-BFS batch traversals; BatchLanes the
+	// lanes (queries) they carried, so BatchLanes/BatchTraversals is the
+	// mean batch width. BatchEdges accumulates the adjacency entries the
+	// shared traversals actually scanned and BatchLaneEdges the entries
+	// the lanes would have scanned as single-source searches —
+	// BatchLaneEdges/BatchEdges is the live bandwidth-amortization
+	// factor. Fed by core.BatchSearcher via BatchOptions.Metrics.
+	BatchTraversals atomic.Int64
+	BatchLanes      atomic.Int64
+	BatchEdges      atomic.Int64
+	BatchLaneEdges  atomic.Int64
 }
 
 // Snapshot returns the current counter values keyed by name.
@@ -62,6 +73,11 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"shed":          m.Shed.Load(),
 		"recovered":     m.Recovered.Load(),
 		"timedOut":      m.TimedOut.Load(),
+
+		"batchTraversals": m.BatchTraversals.Load(),
+		"batchLanes":      m.BatchLanes.Load(),
+		"batchEdges":      m.BatchEdges.Load(),
+		"batchLaneEdges":  m.BatchLaneEdges.Load(),
 	}
 }
 

@@ -88,6 +88,32 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "mcbfs_queries_total{outcome=%q} %d\n", o.String(), t.outcomes[o].Load())
 	}
 
+	// Lanes-per-traversal histogram and batch totals, emitted only once a
+	// batch has been recorded so non-batching deployments keep their
+	// exposition unchanged.
+	if traversals, lanes, scanned, laneEdges := t.BatchStats(); traversals > 0 {
+		b.WriteString("# HELP mcbfs_batch_lanes Lanes (queries) carried per MS-BFS batch traversal.\n")
+		b.WriteString("# TYPE mcbfs_batch_lanes histogram\n")
+		buckets := t.BatchLaneBuckets()
+		var cum int64
+		for i, c := range buckets {
+			cum += c
+			if c == 0 && i < len(buckets)-1 {
+				continue
+			}
+			fmt.Fprintf(&b, "mcbfs_batch_lanes_bucket{le=\"%d\"} %d\n", 1<<uint(i), cum)
+		}
+		fmt.Fprintf(&b, "mcbfs_batch_lanes_bucket{le=\"+Inf\"} %d\n", traversals)
+		fmt.Fprintf(&b, "mcbfs_batch_lanes_sum %d\n", lanes)
+		fmt.Fprintf(&b, "mcbfs_batch_lanes_count %d\n", traversals)
+		b.WriteString("# HELP mcbfs_batch_edges_scanned_total Adjacency entries loaded by shared batch traversals.\n")
+		b.WriteString("# TYPE mcbfs_batch_edges_scanned_total counter\n")
+		fmt.Fprintf(&b, "mcbfs_batch_edges_scanned_total %d\n", scanned)
+		b.WriteString("# HELP mcbfs_batch_lane_edges_total Adjacency entries the batched lanes would have scanned as single-source searches.\n")
+		b.WriteString("# TYPE mcbfs_batch_lane_edges_total counter\n")
+		fmt.Fprintf(&b, "mcbfs_batch_lane_edges_total %d\n", laneEdges)
+	}
+
 	// Flight-recorder threshold and pool occupancy gauges.
 	b.WriteString("# HELP mcbfs_slow_capture_threshold_seconds Current flight-recorder slow-capture threshold.\n")
 	b.WriteString("# TYPE mcbfs_slow_capture_threshold_seconds gauge\n")
@@ -151,6 +177,9 @@ type Status struct {
 	Latency LatencyStatus `json:"latency"`
 	// Queries is the per-outcome totals.
 	Queries map[string]int64 `json:"queries"`
+	// Batch summarizes MS-BFS batch traversals; omitted until one has
+	// been recorded.
+	Batch *BatchStatus `json:"batch,omitempty"`
 	// SlowThresholdNs is the flight recorder's current capture
 	// threshold.
 	SlowThresholdNs int64 `json:"slowThresholdNs"`
@@ -163,6 +192,18 @@ type Status struct {
 type PoolStatus struct {
 	Size int `json:"size"`
 	Busy int `json:"busy"`
+}
+
+// BatchStatus is the MS-BFS block of Status: batch volume, mean width,
+// and the edge-scan amortization factor (lane-attributed edges over
+// edges actually scanned — the bandwidth multiplier batching bought).
+type BatchStatus struct {
+	Traversals   int64   `json:"traversals"`
+	Lanes        int64   `json:"lanes"`
+	MeanWidth    float64 `json:"meanWidth"`
+	EdgesScanned int64   `json:"edgesScanned"`
+	LaneEdges    int64   `json:"laneEdges"`
+	Amortization float64 `json:"amortization"`
 }
 
 // WindowRates holds one rate per rolling window.
@@ -244,6 +285,19 @@ func (t *Telemetry) Status() Status {
 	st.Queries = make(map[string]int64, numOutcomes)
 	for o := Outcome(0); o < numOutcomes; o++ {
 		st.Queries[o.String()] = t.outcomes[o].Load()
+	}
+	if traversals, lanes, scanned, laneEdges := t.BatchStats(); traversals > 0 {
+		bs := &BatchStatus{
+			Traversals:   traversals,
+			Lanes:        lanes,
+			MeanWidth:    float64(lanes) / float64(traversals),
+			EdgesScanned: scanned,
+			LaneEdges:    laneEdges,
+		}
+		if scanned > 0 {
+			bs.Amortization = float64(laneEdges) / float64(scanned)
+		}
+		st.Batch = bs
 	}
 	st.SlowThresholdNs = int64(t.flight.Threshold())
 	for _, rec := range t.flight.Slowest(statusTopK) {

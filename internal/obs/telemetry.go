@@ -47,9 +47,23 @@ type Telemetry struct {
 	// Pool, read by the status page. Atomic so registration can trail
 	// the first queries.
 	poolGauge atomic.Pointer[func() (busy, size int)]
+	// batchLanes is the lanes-per-traversal histogram: bucket i counts
+	// MS-BFS traversals that carried at most 1<<i lanes (le 1, 2, 4, …,
+	// 64). batchTraversals/batchLaneTotal/batchEdgesScanned/
+	// batchLaneEdges are the matching totals, from which the status page
+	// derives mean batch width and edge-scan amortization.
+	batchLanes        [batchLaneBuckets]atomic.Int64
+	batchTraversals   atomic.Int64
+	batchLaneTotal    atomic.Int64
+	batchEdgesScanned atomic.Int64
+	batchLaneEdges    atomic.Int64
 	// epoch anchors process-relative timestamps on the status page.
 	epoch time.Time
 }
+
+// batchLaneBuckets is the lanes histogram's bucket count: powers of two
+// 1..64.
+const batchLaneBuckets = 7
 
 // NewTelemetry builds a telemetry hub.
 func NewTelemetry(opt TelemetryOptions) *Telemetry {
@@ -129,6 +143,53 @@ func (t *Telemetry) RecordQuery(shard int, s QuerySample) {
 // searched, so the sample carries only the time spent waiting.
 func (t *Telemetry) RecordShed(start time.Time, d time.Duration) {
 	t.RecordQuery(0, QuerySample{Start: start, Duration: d, Outcome: OutcomeShed})
+}
+
+// RecordBatch deposits one finished MS-BFS batch traversal: the lane
+// count into the lanes-per-traversal histogram (power-of-two buckets le
+// 1, 2, 4, …, 64) and the edge-scan totals — edgesScanned is what the
+// shared traversal actually loaded, laneEdges what its lanes would have
+// scanned as independent single-source searches. Per-lane latency
+// samples are recorded separately via RecordQuery. Safe for concurrent
+// use, allocation-free, no-op on a nil receiver.
+func (t *Telemetry) RecordBatch(lanes int, edgesScanned, laneEdges int64) {
+	if t == nil {
+		return
+	}
+	b := 0
+	for (1<<uint(b)) < lanes && b < batchLaneBuckets-1 {
+		b++
+	}
+	t.batchLanes[b].Add(1)
+	t.batchTraversals.Add(1)
+	t.batchLaneTotal.Add(int64(lanes))
+	t.batchEdgesScanned.Add(edgesScanned)
+	t.batchLaneEdges.Add(laneEdges)
+}
+
+// BatchStats returns the batch totals recorded so far: traversals,
+// lanes carried, edges the shared traversals scanned, and edges the
+// lanes would have scanned independently.
+func (t *Telemetry) BatchStats() (traversals, lanes, edgesScanned, laneEdges int64) {
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	return t.batchTraversals.Load(), t.batchLaneTotal.Load(),
+		t.batchEdgesScanned.Load(), t.batchLaneEdges.Load()
+}
+
+// BatchLaneBuckets returns the lanes-per-traversal histogram as
+// (upper-bound, count) pairs: bucket i counts traversals with at most
+// 1<<i lanes.
+func (t *Telemetry) BatchLaneBuckets() [batchLaneBuckets]int64 {
+	var out [batchLaneBuckets]int64
+	if t == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = t.batchLanes[i].Load()
+	}
+	return out
 }
 
 // OutcomeCount returns the total number of queries recorded with the

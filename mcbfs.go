@@ -230,6 +230,55 @@ func NewSearcher(g *Graph, opt Options) (*Searcher, error) {
 	return core.NewSearcher(g, opt)
 }
 
+// BatchSearcher is a reusable multi-source BFS session: up to 64
+// single-source searches ("lanes") advanced by one shared traversal,
+// so each pass over a vertex's adjacency serves every lane whose
+// frontier contains it — N concurrent queries over one graph no longer
+// pay N full edge scans. Like Searcher it is a persistent worker pool
+// with pooled state and an O(touched) reset; a warm Search performs no
+// per-batch heap allocation. Create one with NewBatchSearcher, run
+// batches with Search / SearchContext / SearchLanes (per-lane
+// contexts), release with Close. For transparent batching of a
+// concurrent single-query stream, see PoolOptions.Batching instead.
+type BatchSearcher = core.BatchSearcher
+
+// BatchOptions configures a BatchSearcher (lane width, workers,
+// telemetry); the zero value is a 64-lane engine with GOMAXPROCS
+// workers.
+type BatchOptions = core.BatchOptions
+
+// BatchResult is one batch's outcome: per-lane scalars plus extraction
+// methods (ParentOf, ExtractParents, SeenMask) over the session's
+// pooled lane state. Valid only until the next Search or Close.
+type BatchResult = core.BatchResult
+
+// BatchTrees is BatchQuery's detached result: per-lane parent arrays
+// and scalars that outlive the session.
+type BatchTrees = core.BatchTrees
+
+// MaxBatchLanes is the widest batch one traversal can carry (the lane
+// words are 64 bits).
+const MaxBatchLanes = core.MaxLanes
+
+// NewBatchSearcher builds a reusable MS-BFS session over g:
+//
+//	b, err := mcbfs.NewBatchSearcher(g, mcbfs.BatchOptions{})
+//	if err != nil { ... }
+//	defer b.Close()
+//	res, err := b.Search(roots) // up to 64 roots, one lane each
+func NewBatchSearcher(g *Graph, opt BatchOptions) (*BatchSearcher, error) {
+	return core.NewBatchSearcher(g, opt)
+}
+
+// BatchQuery runs one multi-source batch — up to 64 roots, one BFS
+// lane each — in a single shared traversal and returns every lane's
+// detached parent array. It is the one-shot convenience form; callers
+// issuing repeated batches should hold a BatchSearcher and amortize
+// the setup.
+func BatchQuery(g *Graph, roots []Vertex, opt BatchOptions) (*BatchTrees, error) {
+	return core.BatchQuery(g, roots, opt)
+}
+
 // ValidateTree checks that parents encodes a correct BFS tree of g
 // rooted at root (reachability, parent edges, and breadth-first
 // depths).
@@ -316,10 +365,13 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 // Components is the result of a connected-components run.
 type Components = algo.Components
 
-// ConnectedComponents labels the weakly connected components of g by
-// repeated BFS — the community-analysis primitive the paper's
-// introduction motivates. Pass symmetric=true when g already contains
-// both directions of every edge.
+// ConnectedComponents labels the weakly connected components of g —
+// the community-analysis primitive the paper's introduction motivates.
+// Candidate component roots are flooded up to MaxBatchLanes at a time
+// through a shared MS-BFS traversal, so the long tail of small
+// components costs a fraction of the adjacency passes repeated BFS
+// would pay. Pass symmetric=true when g already contains both
+// directions of every edge.
 func ConnectedComponents(g *Graph, symmetric bool, opt Options) (*Components, error) {
 	return algo.ConnectedComponents(g, symmetric, opt)
 }

@@ -66,6 +66,45 @@ type PoolOptions struct {
 	// Telemetry is nil, setting ServeMonitor creates a hub (wired to
 	// Metrics, one histogram shard per Searcher) automatically.
 	ServeMonitor string
+	// Batching, when enabled (Lanes > 0), coalesces concurrently
+	// admitted default-configuration queries into shared MS-BFS batch
+	// traversals instead of borrowing per-query Searchers: up to Lanes
+	// queries ride one pass over the adjacency. Queries with per-query
+	// overrides (Search with a non-zero Query) and QueryFunc calls still
+	// use the Searcher pool.
+	Batching BatchingOptions
+}
+
+// BatchingOptions configures the Pool's MS-BFS batching mode.
+type BatchingOptions struct {
+	// Lanes is the maximum queries coalesced into one batch traversal,
+	// 1..64. 0 disables batching.
+	Lanes int
+	// Window bounds how long a batch runner waits for more queries
+	// after admitting its first: the latency each query may pay to
+	// improve coalescing under light load (under heavy load batches
+	// fill instantly and the window never expires). 0 means 100µs.
+	Window time.Duration
+	// Runners is the number of concurrent batch traversals (each runner
+	// owns one BatchSearcher with Search.Threads workers). 0 means 1.
+	Runners int
+	// QueueDepth is the admission buffer beyond the lanes the runners
+	// can carry; queries beyond it shed with ErrPoolSaturated when
+	// their context expires first. 0 sizes it to Lanes*Runners.
+	QueueDepth int
+}
+
+func (o BatchingOptions) withDefaults() BatchingOptions {
+	if o.Window <= 0 {
+		o.Window = 100 * time.Microsecond
+	}
+	if o.Runners <= 0 {
+		o.Runners = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = o.Lanes * o.Runners
+	}
+	return o
 }
 
 // Pool is a fixed-size pool of warm Searchers over one graph, for
@@ -105,6 +144,35 @@ type Pool struct {
 	tel         *obs.Telemetry
 	monitor     *http.Server
 	monitorAddr string
+
+	// Batching mode (nil/zero when Batching.Lanes == 0): queries
+	// enqueue batchReqs on batchCh; runner goroutines coalesce them
+	// into MS-BFS traversals. replies is the free-list of reply
+	// channels (a buffered channel of channels rather than a sync.Pool,
+	// so the warm path stays allocation-free regardless of GC timing).
+	// batchProducers tracks queries between admission registration and
+	// reply receipt; Close waits for it before closing batchStop, so a
+	// runner that sees batchStop knows no sender can still be in
+	// flight and the final drain cannot strand anyone.
+	batching       BatchingOptions
+	batchCh        chan batchReq
+	batchStop      chan struct{}
+	batchWG        sync.WaitGroup
+	batchProducers sync.WaitGroup
+	replies        chan chan batchReply
+}
+
+// batchReq is one query handed to the batch runners.
+type batchReq struct {
+	root  Vertex
+	ctx   context.Context
+	reply chan batchReply
+}
+
+// batchReply is the per-lane outcome delivered back to the querier.
+type batchReply struct {
+	res Result
+	err error
 }
 
 // NewPool builds a pool of warm Searchers over g. All Searchers are
@@ -165,7 +233,57 @@ func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
 		p.monitor = &http.Server{Handler: p.tel.Handler()}
 		go func() { _ = p.monitor.Serve(ln) }()
 	}
+	if opt.Batching.Lanes > 0 {
+		if err := p.startBatching(); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// startBatching builds the batch runners: one BatchSearcher per runner,
+// the admission channel, and the reply free-list.
+func (p *Pool) startBatching() error {
+	b := p.opt.Batching.withDefaults()
+	if b.Lanes > core.MaxLanes {
+		return fmt.Errorf("mcbfs: Batching.Lanes %d exceeds %d", b.Lanes, core.MaxLanes)
+	}
+	p.batching = b
+	p.batchCh = make(chan batchReq, b.QueueDepth)
+	p.batchStop = make(chan struct{})
+	// Free-list sized to every reply channel the pool can have in
+	// flight at once: queued + being-served requests.
+	nReplies := b.QueueDepth + b.Lanes*b.Runners
+	p.replies = make(chan chan batchReply, nReplies)
+	for i := 0; i < nReplies; i++ {
+		p.replies <- make(chan batchReply, 1)
+	}
+	for i := 0; i < b.Runners; i++ {
+		bs, err := p.newBatchSearcher(i)
+		if err != nil {
+			close(p.batchStop)
+			p.batchWG.Wait()
+			p.batchCh = nil // Close must not re-run the batch shutdown
+			return err
+		}
+		p.batchWG.Add(1)
+		go p.batchRunner(i, bs)
+	}
+	return nil
+}
+
+// newBatchSearcher builds one runner's MS-BFS session, wired to the
+// pool's telemetry and metrics.
+func (p *Pool) newBatchSearcher(runner int) (*core.BatchSearcher, error) {
+	return core.NewBatchSearcher(p.g, core.BatchOptions{
+		Width:          p.batching.Lanes,
+		Threads:        p.opt.Search.Threads,
+		PinThreads:     p.opt.Search.PinThreads,
+		Telemetry:      p.tel,
+		TelemetryShard: runner,
+		Metrics:        p.opt.Metrics,
+	})
 }
 
 // Telemetry returns the pool's telemetry hub: PoolOptions.Telemetry if
@@ -192,6 +310,10 @@ func (p *Pool) Query(ctx context.Context, root Vertex) (Result, error) {
 // the Searcher before it returns to the pool, with the pooled slices
 // (Parents, PerLevel, Trace) detached; a warm deadline-free query
 // performs no heap allocation.
+//
+// With Batching enabled, default-configuration queries (zero Query) are
+// coalesced into shared MS-BFS traversals; overridden queries still
+// borrow a Searcher.
 func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -202,6 +324,9 @@ func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error)
 			ctx, cancel = context.WithTimeout(ctx, p.opt.DefaultTimeout)
 			defer cancel()
 		}
+	}
+	if p.batchCh != nil && q == (Query{}) {
+		return p.batchedSearch(ctx, root)
 	}
 	qstart := p.telNow()
 	s, err := p.acquire(ctx)
@@ -261,7 +386,9 @@ func (p *Pool) QueryFunc(ctx context.Context, root Vertex, q Query, fn func(*Res
 
 // acquire borrows a Searcher: the fast path takes an idle one without
 // blocking; the slow path waits until one frees up, the pool closes,
-// or the caller's context expires (shed).
+// or the caller's context expires (shed). Shed accounting — the Shed
+// counter and the telemetry error outcome — is centralized in
+// noteShed, which every admission path calls on its error.
 func (p *Pool) acquire(ctx context.Context) (*core.Searcher, error) {
 	if err := p.err(); err != nil {
 		return nil, err
@@ -277,11 +404,221 @@ func (p *Pool) acquire(ctx context.Context) (*core.Searcher, error) {
 	case <-p.closing:
 		return nil, ErrPoolClosed
 	case <-ctx.Done():
-		if p.opt.Metrics != nil {
-			p.opt.Metrics.Shed.Add(1)
-		}
 		return nil, fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
 	}
+}
+
+// batchedSearch is the batching-mode query path: register as a
+// producer, enqueue on the admission channel (shedding when the queue
+// stays full past the caller's context), and wait for the per-lane
+// reply. A warm query allocates nothing: the request is a channel send
+// of a value, and the reply channel comes from the free-list.
+func (p *Pool) batchedSearch(ctx context.Context, root Vertex) (Result, error) {
+	qstart := p.telNow()
+	// Producer registration orders against Close: after closed is set
+	// no new producer registers, so batchProducers.Wait() in Close
+	// covers every request that could reach the channel.
+	p.mu.Lock()
+	if err := p.errLocked(); err != nil {
+		p.mu.Unlock()
+		return Result{}, err
+	}
+	p.batchProducers.Add(1)
+	p.mu.Unlock()
+	defer p.batchProducers.Done()
+
+	// Free-list exhaustion means more callers than the pool can have in
+	// flight — the same saturation signal as a full admission queue.
+	var reply chan batchReply
+	select {
+	case reply = <-p.replies:
+	default:
+		select {
+		case reply = <-p.replies:
+		case <-p.closing:
+			return Result{}, ErrPoolClosed
+		case <-ctx.Done():
+			err := fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
+			p.noteShed(qstart, err)
+			return Result{}, err
+		}
+	}
+	req := batchReq{root: root, ctx: ctx, reply: reply}
+	select {
+	case p.batchCh <- req:
+	default:
+		select {
+		case p.batchCh <- req:
+		case <-p.closing:
+			p.replies <- reply
+			return Result{}, ErrPoolClosed
+		case <-ctx.Done():
+			p.replies <- reply
+			err := fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
+			p.noteShed(qstart, err)
+			return Result{}, err
+		}
+	}
+	// Admitted: the runner owns the request and will always reply, so
+	// the wait is unconditional — abandoning it would let the next
+	// borrower of this reply channel read our lane's result.
+	r := <-reply
+	p.replies <- reply
+	p.countCancelled(r.err)
+	return r.res, r.err
+}
+
+// batchRunner is one batching-mode serving loop: block for the first
+// query, hold the admission window open to coalesce more (up to the
+// lane budget), run the shared MS-BFS traversal with each lane bounded
+// by its own query context, and deliver per-lane results. A panicking
+// traversal poisons only this runner's BatchSearcher, which is rebuilt.
+func (p *Pool) batchRunner(runner int, bs *core.BatchSearcher) {
+	defer p.batchWG.Done()
+	lanes := p.batching.Lanes
+	window := p.batching.Window
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	reqs := make([]batchReq, 0, lanes)
+	roots := make([]Vertex, 0, lanes)
+	ctxs := make([]context.Context, 0, lanes)
+	for {
+		reqs = reqs[:0]
+		select {
+		case req := <-p.batchCh:
+			reqs = append(reqs, req)
+		case <-p.batchStop:
+			// Close has seen every producer finish; anything still
+			// queued was abandoned by a shutdown race and is failed
+			// here, then the drain is final.
+			for {
+				select {
+				case req := <-p.batchCh:
+					req.reply <- batchReply{err: ErrPoolClosed}
+				default:
+					bs.Close()
+					return
+				}
+			}
+		}
+		// Admission window: wait up to window for the batch to fill.
+		// Under load the lane budget is hit first and the timer is
+		// simply stopped; idle runners pay one timer sleep per batch.
+		if lanes > 1 {
+			timer.Reset(window)
+		collect:
+			for len(reqs) < lanes {
+				select {
+				case req := <-p.batchCh:
+					reqs = append(reqs, req)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		roots = roots[:0]
+		ctxs = ctxs[:0]
+		for _, req := range reqs {
+			roots = append(roots, req.root)
+			ctxs = append(ctxs, req.ctx)
+		}
+		res, err, panicked := p.batchOn(bs, roots, ctxs)
+		if panicked {
+			for _, req := range reqs {
+				req.reply <- batchReply{err: err}
+			}
+			if p.opt.Metrics != nil {
+				p.opt.Metrics.Recovered.Add(1)
+			}
+			bs = p.rebuildBatch(bs, runner)
+			if bs == nil {
+				// The pool is broken; keep answering (with the error)
+				// so admitted producers are never stranded.
+				p.failBatchRequests()
+				return
+			}
+			continue
+		}
+		if err != nil {
+			// SearchLanes only errors as a whole on invalid input or a
+			// dead batch context; neither occurs here (roots are
+			// validated by the graph bound check per query below, and
+			// the batch context is Background). Fail the lanes anyway
+			// rather than dropping them.
+			for _, req := range reqs {
+				req.reply <- batchReply{err: err}
+			}
+			continue
+		}
+		for l, req := range reqs {
+			if lerr := res.Err[l]; lerr != nil {
+				req.reply <- batchReply{err: lerr}
+				continue
+			}
+			req.reply <- batchReply{res: res.LaneResult(l)}
+		}
+	}
+}
+
+// failBatchRequests serves the admission channel with errors after a
+// runner's BatchSearcher could not be rebuilt, until Close's final
+// drain point.
+func (p *Pool) failBatchRequests() {
+	for {
+		select {
+		case req := <-p.batchCh:
+			req.reply <- batchReply{err: p.err()}
+		case <-p.batchStop:
+			for {
+				select {
+				case req := <-p.batchCh:
+					req.reply <- batchReply{err: ErrPoolClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// batchOn runs one batch traversal under a recover scope.
+func (p *Pool) batchOn(bs *core.BatchSearcher, roots []Vertex, ctxs []context.Context) (res *core.BatchResult, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			res = nil
+			err = fmt.Errorf("mcbfs: batch of %d queries panicked: %v", len(roots), r)
+		}
+	}()
+	res, err = bs.SearchLanes(context.Background(), roots, ctxs)
+	return res, err, false
+}
+
+// rebuildBatch replaces a runner's BatchSearcher after a panic,
+// mirroring rebuild for the Searcher pool. Returns nil — and marks the
+// pool broken — when the rebuild fails.
+func (p *Pool) rebuildBatch(old *core.BatchSearcher, runner int) *core.BatchSearcher {
+	go func() {
+		defer func() { _ = recover() }()
+		old.Close()
+	}()
+	bs, err := p.newBatchSearcher(runner)
+	if err != nil {
+		p.mu.Lock()
+		p.broken = fmt.Errorf("mcbfs: rebuilding batch searcher after panic: %w", err)
+		p.mu.Unlock()
+		return nil
+	}
+	return bs
 }
 
 // searchOn executes one borrowed search under a recover scope, so a
@@ -325,15 +662,24 @@ func (p *Pool) telNow() time.Time {
 	return time.Now()
 }
 
-// noteShed reports an admission failure to the telemetry hub; the
-// recorded latency is the time the query spent waiting before it was
-// refused. Cancellation and search errors are recorded by the Searcher
-// itself, so only the saturated path is noted here.
+// noteShed records an admission failure into every sink before the
+// caller returns ErrPoolSaturated: the Shed serving counter and — when
+// a telemetry hub is attached — the latency histogram's shed outcome,
+// which feeds the /metrics error-rate windows. Centralizing both here
+// keeps the Searcher-pool and batching admission paths consistent.
+// Cancellation and search errors are recorded by the sessions
+// themselves, so only the saturated path is noted here; the recorded
+// latency is the time the query spent waiting before it was refused.
 func (p *Pool) noteShed(qstart time.Time, err error) {
-	if p.tel == nil || !errors.Is(err, ErrPoolSaturated) {
+	if !errors.Is(err, ErrPoolSaturated) {
 		return
 	}
-	p.tel.RecordShed(qstart, time.Since(qstart))
+	if p.opt.Metrics != nil {
+		p.opt.Metrics.Shed.Add(1)
+	}
+	if p.tel != nil {
+		p.tel.RecordShed(qstart, time.Since(qstart))
+	}
 }
 
 // notePanic reports a panicking query to the telemetry hub. The
@@ -392,6 +738,11 @@ func (p *Pool) rebuild(old *core.Searcher) {
 func (p *Pool) err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.errLocked()
+}
+
+// errLocked is err with p.mu already held.
+func (p *Pool) errLocked() error {
 	if p.closed {
 		return ErrPoolClosed
 	}
@@ -421,6 +772,14 @@ func (p *Pool) Close() error {
 		if err := s.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if p.batchCh != nil {
+		// Every producer registered before closed was set; once they
+		// all return (replied, shed, or released by closing), no sender
+		// can touch batchCh again and the runners' final drain is safe.
+		p.batchProducers.Wait()
+		close(p.batchStop)
+		p.batchWG.Wait()
 	}
 	return firstErr
 }

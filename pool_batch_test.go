@@ -1,0 +1,346 @@
+package mcbfs_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mcbfs"
+)
+
+// TestPoolBatchingConcurrentAdmission is the batching mode's core
+// contract under contention (run with -race): many concurrent clients
+// issue single-source queries, the pool coalesces them into shared
+// MS-BFS traversals, and every client gets exactly the scalars a
+// dedicated single-source search would have produced.
+func TestPoolBatchingConcurrentAdmission(t *testing.T) {
+	g := poolTestGraph(t)
+	var m mcbfs.Metrics
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:    1,
+		Search:  mcbfs.Options{Threads: 2},
+		Metrics: &m,
+		Batching: mcbfs.BatchingOptions{
+			Lanes:  8,
+			Window: 2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const clients = 16
+	const perClient = 8
+	// Precompute the reference scalars for every root the clients use.
+	type ref struct{ reached, edges int64; levels int }
+	refs := make(map[mcbfs.Vertex]ref)
+	for c := 0; c < clients; c++ {
+		for i := 0; i < perClient; i++ {
+			root := mcbfs.Vertex((c*131 + i*977) % g.NumVertices())
+			if _, ok := refs[root]; !ok {
+				r, err := mcbfs.BFS(g, root, mcbfs.Options{Algorithm: mcbfs.AlgSequential})
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[root] = ref{r.Reached, r.EdgesTraversed, r.Levels}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				root := mcbfs.Vertex((c*131 + i*977) % g.NumVertices())
+				res, err := pool.Query(context.Background(), root)
+				if err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+				want := refs[root]
+				if res.Reached != want.reached || res.EdgesTraversed != want.edges || res.Levels != want.levels {
+					t.Errorf("client %d root %d: Reached=%d/%d Edges=%d/%d Levels=%d/%d",
+						c, root, res.Reached, want.reached, res.EdgesTraversed, want.edges,
+						res.Levels, want.levels)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const total = clients * perClient
+	if got := m.BatchLanes.Load(); got != total {
+		t.Errorf("BatchLanes = %d, want %d (every query rides a batch)", got, total)
+	}
+	traversals := m.BatchTraversals.Load()
+	if traversals < 1 || traversals > total {
+		t.Errorf("BatchTraversals = %d, want within [1, %d]", traversals, total)
+	}
+	// The shared scans must not exceed what independent searches would
+	// have paid; equality holds only if no two lanes ever shared a
+	// traversal.
+	if scanned, lane := m.BatchEdges.Load(), m.BatchLaneEdges.Load(); scanned > lane {
+		t.Errorf("BatchEdges = %d exceeds BatchLaneEdges = %d", scanned, lane)
+	}
+}
+
+// holdCtx is a context whose Err blocks until released: handed to a
+// batched query it deterministically parks the batch runner at lane
+// seeding, which is how the admission-shed tests fill the queue without
+// racing a fast traversal.
+type holdCtx struct {
+	heldOnce sync.Once
+	held     chan struct{} // closed on the first Err poll
+	release  chan struct{}
+}
+
+func newHoldCtx() *holdCtx {
+	return &holdCtx{held: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (c *holdCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *holdCtx) Done() <-chan struct{}       { return nil }
+func (c *holdCtx) Value(any) any               { return nil }
+func (c *holdCtx) Err() error {
+	c.heldOnce.Do(func() { close(c.held) })
+	<-c.release
+	return nil
+}
+
+// TestPoolBatchingShed saturates the batching admission path and
+// checks the shed is recorded in every sink before ErrPoolSaturated
+// returns: the Shed counter, the shed outcome total, and the telemetry
+// error-rate window that feeds /metrics.
+//
+// Setup: with Lanes=1, Runners=1, QueueDepth=1 the reply free-list
+// holds exactly 2 channels. Query A parks the runner (blocking lane
+// context) while holding one. Two racing probes then contend for the
+// last channel: whichever wins it is admitted and parks behind A, so
+// the other deterministically sheds at its deadline.
+func TestPoolBatchingShed(t *testing.T) {
+	g := poolTestGraph(t)
+	var m mcbfs.Metrics
+	tel := mcbfs.NewTelemetry(mcbfs.TelemetryOptions{Shards: 1})
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:      1,
+		Search:    mcbfs.Options{Threads: 2},
+		Metrics:   &m,
+		Telemetry: tel,
+		Batching: mcbfs.BatchingOptions{
+			Lanes:      1, // no admission window: the runner serves one query at a time
+			Runners:    1,
+			QueueDepth: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	hold := newHoldCtx()
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(hold.release) }) }
+	defer release() // runs before the deferred Close, so it cannot hang
+
+	// Query A parks the runner at lane seeding via its blocking context.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := pool.Query(hold, 0); err != nil {
+			t.Errorf("held query: %v", err)
+		}
+	}()
+	<-hold.held
+
+	// The two probes race for the one remaining reply channel. The
+	// winner is admitted (it resolves with DeadlineExceeded once the
+	// runner resumes and sees its dead lane context); the loser sheds.
+	errCh := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(root mcbfs.Vertex) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, err := pool.Query(ctx, root)
+			errCh <- err
+		}(mcbfs.Vertex(1 + i))
+	}
+	shedErr := <-errCh
+	if !errors.Is(shedErr, mcbfs.ErrPoolSaturated) {
+		t.Fatalf("saturated query error = %v, want ErrPoolSaturated", shedErr)
+	}
+	if !errors.Is(shedErr, context.DeadlineExceeded) {
+		t.Errorf("saturated query error = %v, want context.DeadlineExceeded in chain", shedErr)
+	}
+	if got := m.Shed.Load(); got != 1 {
+		t.Errorf("Shed = %d, want 1", got)
+	}
+	if got := tel.OutcomeCount(mcbfs.OutcomeShed); got != 1 {
+		t.Errorf("OutcomeShed count = %d, want 1", got)
+	}
+	if rate := tel.ErrorRate(time.Minute); rate <= 0 {
+		t.Errorf("ErrorRate = %v, want > 0 after a shed", rate)
+	}
+	release()
+	// The absorbed probe must resolve with its context's error, not
+	// hang and not shed.
+	if err := <-errCh; !errors.Is(err, context.DeadlineExceeded) || errors.Is(err, mcbfs.ErrPoolSaturated) {
+		t.Errorf("absorbed probe error = %v, want bare context.DeadlineExceeded", err)
+	}
+	wg.Wait()
+}
+
+// TestPoolBatchingCancelledQuery routes a dead-context query through
+// the batched path: it must come back with the context's error and feed
+// the Cancelled counter, while a healthy sibling query is unaffected.
+func TestPoolBatchingCancelledQuery(t *testing.T) {
+	g := poolTestGraph(t)
+	var m mcbfs.Metrics
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:     1,
+		Search:   mcbfs.Options{Threads: 2},
+		Metrics:  &m,
+		Batching: mcbfs.BatchingOptions{Lanes: 4, Window: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.Query(dead, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("dead-context query error = %v, want context.Canceled", err)
+	}
+	if got := m.Cancelled.Load(); got != 1 {
+		t.Errorf("Cancelled = %d, want 1", got)
+	}
+	ref, err := mcbfs.BFS(g, 0, mcbfs.Options{Algorithm: mcbfs.AlgSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Query(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("healthy query: %v", err)
+	}
+	if res.Reached != ref.Reached {
+		t.Errorf("healthy query Reached = %d, want %d", res.Reached, ref.Reached)
+	}
+}
+
+// TestPoolBatchingOverridesBypass checks that per-query overrides still
+// use the Searcher pool: they must succeed and not ride a batch.
+func TestPoolBatchingOverridesBypass(t *testing.T) {
+	g := poolTestGraph(t)
+	var m mcbfs.Metrics
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:     1,
+		Search:   mcbfs.Options{Threads: 2},
+		Metrics:  &m,
+		Batching: mcbfs.BatchingOptions{Lanes: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res, err := pool.Search(context.Background(), 0, mcbfs.Query{Algorithm: mcbfs.AlgSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached == 0 {
+		t.Error("override query reached nothing")
+	}
+	if got := m.BatchLanes.Load(); got != 0 {
+		t.Errorf("override query rode a batch (BatchLanes = %d)", got)
+	}
+	// QueryFunc also bypasses batching — it needs the borrow-held
+	// parents.
+	err = pool.QueryFunc(context.Background(), 3, mcbfs.Query{}, func(res *mcbfs.Result) error {
+		return mcbfs.ValidateTree(g, 3, res.Parents)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BatchLanes.Load(); got != 0 {
+		t.Errorf("QueryFunc rode a batch (BatchLanes = %d)", got)
+	}
+}
+
+// TestPoolBatchingClose closes a batching pool with traffic in flight:
+// every query must resolve (result or ErrPoolClosed), and Close must
+// not hang.
+func TestPoolBatchingClose(t *testing.T) {
+	g := poolTestGraph(t)
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:     1,
+		Search:   mcbfs.Options{Threads: 2},
+		Batching: mcbfs.BatchingOptions{Lanes: 8, Window: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := pool.Query(context.Background(), mcbfs.Vertex(c))
+				if err != nil && !errors.Is(err, mcbfs.ErrPoolClosed) {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := pool.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	wg.Wait()
+	if _, err := pool.Query(context.Background(), 0); !errors.Is(err, mcbfs.ErrPoolClosed) {
+		t.Errorf("post-close query error = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolBatchedQueryZeroAlloc checks the warm batched query path
+// allocates nothing per query: the request is a channel send of a
+// value and the reply channel comes from the pool's free-list.
+func TestPoolBatchedQueryZeroAlloc(t *testing.T) {
+	g := poolTestGraph(t)
+	pool, err := mcbfs.NewPool(g, mcbfs.PoolOptions{
+		Size:     1,
+		Search:   mcbfs.Options{Threads: 2},
+		Batching: mcbfs.BatchingOptions{Lanes: 1}, // width 1: no admission window in the loop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx := context.Background()
+	// Warm every path once.
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Query(ctx, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := pool.Query(ctx, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warm batched query allocates %.1f objects/op, want 0", avg)
+	}
+}
