@@ -711,3 +711,118 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationVertexOrder sweeps locality orderings against search
+// tiers on a scale-20 R-MAT graph (scale 16 under -short). Each
+// relabeling is computed once outside every timed region and its
+// one-time cost reported as "reorder-ms"; the timed loops are warm
+// searches through the translation layer — callers speak original
+// vertex ids throughout — so the ME/s delta against order=natural is
+// the pure locality effect, and allocs/op must stay 0 to show the
+// translation adds no per-query allocation.
+func BenchmarkAblationVertexOrder(b *testing.B) {
+	scale := 20
+	if testing.Short() {
+		scale = 16
+	}
+	g := benchRMAT(b, scale, int64(16)<<scale)
+
+	// Deterministic non-isolated roots in original-id space; every
+	// ordering answers the same queries.
+	var roots []graph.Vertex
+	for v := 0; v < g.NumVertices() && len(roots) < core.MaxLanes; v += 97 {
+		if g.Degree(graph.Vertex(v)) > 0 {
+			roots = append(roots, graph.Vertex(v))
+		}
+	}
+	if len(roots) == 0 {
+		b.Fatal("no non-isolated roots")
+	}
+	for distinct := len(roots); len(roots) < core.MaxLanes; {
+		roots = append(roots, roots[len(roots)%distinct])
+	}
+
+	orderings := []graph.Ordering{
+		graph.OrderNatural, graph.OrderDegree, graph.OrderDegreeGroup, graph.OrderBFS,
+	}
+	rds := make(map[graph.Ordering]*graph.Reordered, len(orderings))
+	for _, o := range orderings {
+		rd, err := g.Reorder(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rds[o] = rd
+	}
+
+	tiers := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"sequential", core.Options{Algorithm: core.AlgSequential, Threads: 1}},
+		{"single-socket", core.Options{Algorithm: core.AlgSingleSocket, Threads: 4}},
+	}
+	for _, o := range orderings {
+		rd := rds[o]
+		for _, tier := range tiers {
+			b.Run(fmt.Sprintf("order=%s/%s", o, tier.name), func(b *testing.B) {
+				opt := tier.opt
+				opt.Ordering = o
+				opt.Reordered = rd
+				s, err := core.NewSearcher(g, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				if _, err := s.BFS(roots[0]); err != nil { // absorb the cold search
+					b.Fatal(err)
+				}
+				var edges int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					res, err := s.BFS(roots[i%len(roots)])
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges += res.EdgesTraversed
+				}
+				if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+					b.ReportMetric(float64(edges)/elapsed/1e6, "ME/s")
+				}
+				b.ReportMetric(float64(rd.ReorderTime().Milliseconds()), "reorder-ms")
+			})
+		}
+		b.Run(fmt.Sprintf("order=%s/msbfs-64", o), func(b *testing.B) {
+			bs, err := core.NewBatchSearcher(g, core.BatchOptions{
+				Width:     core.MaxLanes,
+				Ordering:  o,
+				Reordered: rd,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bs.Close()
+			if _, err := bs.Search(roots); err != nil { // absorb the cold batch
+				b.Fatal(err)
+			}
+			var laneEdges int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := bs.Search(roots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for l := range roots {
+					laneEdges += res.Edges[l]
+				}
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(laneEdges)/elapsed/1e6, "ME/s")
+			}
+			b.ReportMetric(float64(rd.ReorderTime().Milliseconds()), "reorder-ms")
+		})
+	}
+}

@@ -27,6 +27,10 @@ type harnessConfig struct {
 	// Telemetry, when non-nil (-pprof), is the serving hub the -clients
 	// pool reports into, exposed at /metrics and /debug/bfs.
 	Telemetry *obs.Telemetry
+	// Order relabels the measured graph under a locality-optimized
+	// vertex ordering (-order); the reorder time is reported on its own
+	// line, never folded into setup or query time.
+	Order graph.Ordering
 }
 
 func (c harnessConfig) sim() bool      { return c.Mode == "sim" || c.Mode == "both" }

@@ -57,6 +57,7 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
 		outPath   = flag.String("o", "", "write output to this file instead of stdout")
 		buildPar  = flag.Int("build-threads", 0, "CSR construction worker count (0 = GOMAXPROCS)")
+		order     = flag.String("order", "natural", "with -searches: vertex ordering applied to the measured graph (natural, degree, dbg, rcm); reorder time reported separately")
 	)
 	flag.Parse()
 
@@ -64,11 +65,18 @@ func main() {
 		graph.SetBuildParallelism(*buildPar)
 	}
 
+	ordering, err := graph.ParseOrdering(*order)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := harnessConfig{
 		Mode:  *mode,
 		Scale: *scale,
 		Seed:  *seed,
 		Short: *short,
+		Order: ordering,
 	}
 	if cfg.Mode != "sim" && cfg.Mode != "measured" && cfg.Mode != "both" {
 		fmt.Fprintf(os.Stderr, "bfsbench: unknown mode %q\n", cfg.Mode)

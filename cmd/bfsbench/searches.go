@@ -68,8 +68,13 @@ func runSearches(w io.Writer, cfg harnessConfig, searches, batchWidth int) error
 			distinct, searches)
 	}
 
+	rd, err := reorderFor(w, g, cfg)
+	if err != nil {
+		return err
+	}
+
 	setupStart := time.Now()
-	s, err := core.NewSearcher(g, core.Options{Tracer: cfg.Tracer})
+	s, err := core.NewSearcher(g, core.Options{Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd})
 	if err != nil {
 		return err
 	}
@@ -96,8 +101,8 @@ func runSearches(w io.Writer, cfg harnessConfig, searches, batchWidth int) error
 	}
 
 	singleQPS := float64(len(roots)) / (setup + total).Seconds()
-	fmt.Fprintf(w, "searches=%d scale=%d: %.1f queries/sec over one session (setup %v amortized)\n",
-		len(roots), log2(n), singleQPS, setup.Round(time.Microsecond))
+	fmt.Fprintf(w, "searches=%d scale=%d order=%s: %.1f queries/sec over one session (setup %v amortized)\n",
+		len(roots), log2(n), cfg.Order, singleQPS, setup.Round(time.Microsecond))
 	fmt.Fprintf(w, "  cold:  %s TEPS (query 0, session setup included)\n", stats.FormatRate(coldTEPS))
 	if len(teps) > 1 {
 		warm := teps[1:]
@@ -108,15 +113,33 @@ func runSearches(w io.Writer, cfg harnessConfig, searches, batchWidth int) error
 			stats.FormatRate(stats.Quantile(warm, 1)))
 	}
 	if batchWidth > 0 {
-		return runBatchedSearches(w, g, roots, batchWidth, cfg, singleQPS)
+		return runBatchedSearches(w, g, rd, roots, batchWidth, cfg, singleQPS)
 	}
 	return nil
+}
+
+// reorderFor relabels g under cfg.Order, printing the one-time cost on
+// its own report line so it is never conflated with session setup or
+// query time. Natural order returns (nil, nil) and prints nothing.
+func reorderFor(w io.Writer, g *graph.Graph, cfg harnessConfig) (*graph.Reordered, error) {
+	if cfg.Order == graph.OrderNatural {
+		return nil, nil
+	}
+	rd, err := g.Reorder(cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "reorder: ordering %s in %v (perm %v + relabel %v, %d hub vertices holding %d edge slots)\n",
+		cfg.Order, rd.ReorderTime().Round(time.Microsecond),
+		rd.PermTime.Round(time.Microsecond), rd.RelabelTime.Round(time.Microsecond),
+		rd.HubVertices, rd.HubEdges)
+	return rd, nil
 }
 
 // runBatchedSearches replays roots through one MS-BFS session at the
 // given lane width and prints batched throughput next to the
 // single-lane session's queries/sec.
-func runBatchedSearches(w io.Writer, g *graph.Graph, roots []graph.Vertex, width int, cfg harnessConfig, singleQPS float64) error {
+func runBatchedSearches(w io.Writer, g *graph.Graph, rd *graph.Reordered, roots []graph.Vertex, width int, cfg harnessConfig, singleQPS float64) error {
 	if width > core.MaxLanes {
 		width = core.MaxLanes
 	}
@@ -124,6 +147,8 @@ func runBatchedSearches(w io.Writer, g *graph.Graph, roots []graph.Vertex, width
 	bs, err := core.NewBatchSearcher(g, core.BatchOptions{
 		Width:     width,
 		Telemetry: cfg.Telemetry,
+		Ordering:  cfg.Order,
+		Reordered: rd,
 	})
 	if err != nil {
 		return err
@@ -200,11 +225,16 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 		threads = 1
 	}
 
+	rd, err := reorderFor(w, g, cfg)
+	if err != nil {
+		return err
+	}
+
 	var serving obs.Metrics
 	setupStart := time.Now()
 	popt := mcbfs.PoolOptions{
 		Size:      poolSize,
-		Search:    mcbfs.Options{Threads: threads, Tracer: cfg.Tracer},
+		Search:    mcbfs.Options{Threads: threads, Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd},
 		Metrics:   &serving,
 		Telemetry: cfg.Telemetry,
 	}
@@ -254,8 +284,8 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 
 	snap := serving.Snapshot()
 	dist := lat.Snapshot()
-	fmt.Fprintf(w, "clients=%d pool=%d threads/searcher=%d scale=%d: %.1f queries/sec over %d queries (pool setup %v)\n",
-		clients, poolSize, threads, log2(n),
+	fmt.Fprintf(w, "clients=%d pool=%d threads/searcher=%d scale=%d order=%s: %.1f queries/sec over %d queries (pool setup %v)\n",
+		clients, poolSize, threads, log2(n), cfg.Order,
 		float64(done.Load())/elapsed.Seconds(), done.Load(), setup.Round(time.Microsecond))
 	fmt.Fprintf(w, "  latency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
 		dist.Quantile(0.5).Round(time.Microsecond),

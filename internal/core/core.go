@@ -159,6 +159,20 @@ type Options struct {
 	// records into. Give concurrent sessions distinct shards (as
 	// mcbfs.Pool does) so their counter writes never contend.
 	TelemetryShard int
+	// Ordering relabels the graph into a locality-optimized vertex order
+	// for the session's lifetime (see graph.Ordering). The permutation
+	// is computed and applied once at construction; queries keep original
+	// vertex ids — roots are translated in and parent arrays translated
+	// back out in O(touched) per query — and a warm search still
+	// performs zero heap allocations. OrderNatural (the zero value)
+	// leaves the graph as-is.
+	Ordering graph.Ordering
+	// Reordered supplies a precomputed reordering (from graph.Reorder),
+	// overriding Ordering: sessions sharing one Reordered share one
+	// relabeled CSR instead of each paying the reorder, which is how
+	// mcbfs.Pool runs all its Searchers on a single relabeled graph. It
+	// must have been computed from this session's graph.
+	Reordered *graph.Reordered
 }
 
 func (o Options) withDefaults() Options {

@@ -78,6 +78,15 @@ type BatchOptions struct {
 	// Metrics, when non-nil, receives the batch counters
 	// (BatchTraversals, BatchLanes, BatchEdges, BatchLaneEdges).
 	Metrics *obs.Metrics
+	// Ordering and Reordered select a locality-optimized vertex
+	// relabeling exactly as for Options: the traversal runs on the
+	// relabeled graph, roots are translated in, and every extraction
+	// method (SeenMask, ParentOf, Touched, ExtractParents) translates
+	// back out, so callers keep original vertex ids. Reordered overrides
+	// Ordering and lets the batch engine share mcbfs.Pool's relabeled
+	// CSR.
+	Ordering  graph.Ordering
+	Reordered *graph.Reordered
 }
 
 func (o BatchOptions) withDefaults() BatchOptions {
@@ -136,6 +145,14 @@ type BatchSearcher struct {
 	visitNext *bitmap.Lanes
 	parents   []uint32          // n*width, vertex-major: parents[v*width+lane]
 	touched   *queue.ChunkQueue // vertices with any seen bit — the O(touched) reset list
+
+	// Ordering translation layer, as in Searcher: the lane vectors and
+	// parent stride are indexed by relabeled ids; perm/inv translate at
+	// the API boundary. extTouched is the pooled caller-id copy of the
+	// touched list, filled lazily by BatchResult.Touched. All nil in
+	// natural order.
+	perm, inv  []graph.Vertex
+	extTouched []uint32
 
 	ws []batchWorker
 
@@ -199,8 +216,29 @@ func NewBatchSearcher(g *graph.Graph, opt BatchOptions) (*BatchSearcher, error) 
 		return nil, fmt.Errorf("core: batch width %d exceeds %d lanes", o.Width, MaxLanes)
 	}
 	n := g.NumVertices()
+	rd := o.Reordered
+	if rd == nil && o.Ordering != graph.OrderNatural {
+		var err error
+		if rd, err = g.Reorder(o.Ordering); err != nil {
+			return nil, err
+		}
+	}
+	workGraph := g
+	var perm, inv []graph.Vertex
+	if rd != nil {
+		if rd.Graph == nil || rd.Graph.NumVertices() != n || rd.Graph.NumEdges() != g.NumEdges() {
+			return nil, errors.New("core: BatchOptions.Reordered does not match the graph")
+		}
+		if rd.Perm != nil && (len(rd.Perm) != n || len(rd.Inv) != n) {
+			return nil, errors.New("core: BatchOptions.Reordered permutation length mismatch")
+		}
+		workGraph = rd.Graph
+		perm, inv = rd.Perm, rd.Inv
+	}
 	b := &BatchSearcher{
-		g:       g,
+		g:       workGraph,
+		perm:    perm,
+		inv:     inv,
 		o:       o,
 		n:       n,
 		width:   o.Width,
@@ -369,12 +407,18 @@ func (b *BatchSearcher) SearchLanes(ctx context.Context, roots []graph.Vertex, l
 	// root.
 	var cancelled uint64
 	for i, r := range roots {
-		bit := uint64(1) << uint(i)
-		if old := b.seen.Or(int(r), bit); old == 0 {
-			b.touched.Push(uint32(r))
+		// The traversal runs in the session's id space; res.Roots echoes
+		// the caller's original ids.
+		ir := int(r)
+		if b.perm != nil {
+			ir = int(b.perm[r])
 		}
-		b.visit.Or(int(r), bit)
-		b.parents[int(r)*b.width+i] = uint32(r)
+		bit := uint64(1) << uint(i)
+		if old := b.seen.Or(ir, bit); old == 0 {
+			b.touched.Push(uint32(ir))
+		}
+		b.visit.Or(ir, bit)
+		b.parents[ir*b.width+i] = uint32(ir)
 		b.laneLevels[i] = 1
 		b.laneReached[i] = 1
 		b.laneEdges[i] = 0
@@ -691,31 +735,59 @@ func (r *BatchResult) LaneTEPS(l int) float64 {
 }
 
 // SeenMask returns the lane bits that reached v — which of the batch's
-// sources have v in their BFS tree.
+// sources have v in their BFS tree. v is a caller-id vertex; with an
+// active ordering it is translated through the session's permutation.
 func (r *BatchResult) SeenMask(v graph.Vertex) uint64 {
-	return r.b.seen.Load(int(v)) & r.b.laneMask
+	iv := int(v)
+	if r.b.perm != nil {
+		iv = int(r.b.perm[v])
+	}
+	return r.b.seen.Load(iv) & r.b.laneMask
 }
 
 // ParentOf returns v's parent in lane l's BFS tree, or NoParent when
-// lane l did not reach v. The root's parent is the root itself.
+// lane l did not reach v. The root's parent is the root itself. Both v
+// and the returned parent are caller ids.
 func (r *BatchResult) ParentOf(l int, v graph.Vertex) uint32 {
-	if r.b.seen.Load(int(v))&(1<<uint(l)) == 0 {
+	iv := int(v)
+	if r.b.perm != nil {
+		iv = int(r.b.perm[v])
+	}
+	if r.b.seen.Load(iv)&(1<<uint(l)) == 0 {
 		return NoParent
 	}
-	return r.b.parents[int(v)*r.b.width+l]
+	p := r.b.parents[iv*r.b.width+l]
+	if r.b.inv != nil {
+		p = uint32(r.b.inv[p])
+	}
+	return p
 }
 
 // Touched returns the vertices reached by at least one lane, in
-// discovery order. The slice aliases the session's touched queue: read
-// it before the next Search.
+// discovery order, as caller ids. In natural order the slice aliases
+// the session's touched queue; with an active ordering it is the
+// session's pooled translation buffer (allocated once, then reused).
+// Either way, read it before the next Search.
 func (r *BatchResult) Touched() []uint32 {
-	return r.b.touched.Slice()
+	raw := r.b.touched.Slice()
+	if r.b.inv == nil {
+		return raw
+	}
+	if cap(r.b.extTouched) < len(raw) {
+		r.b.extTouched = make([]uint32, 0, r.b.n)
+	}
+	out := r.b.extTouched[:len(raw)]
+	for i, v := range raw {
+		out[i] = uint32(r.b.inv[v])
+	}
+	return out
 }
 
 // ExtractParents materializes lane l's full parent array (NoParent for
-// unreached vertices) into dst, allocating when dst is too small. The
-// fill is O(n) plus O(touched) for the reached entries — the price of
-// detaching a lane's tree from the pooled state.
+// unreached vertices, everything in caller ids) into dst, allocating
+// when dst is too small. The fill is O(n) plus O(touched) for the
+// reached entries — the price of detaching a lane's tree from the
+// pooled state.
 func (r *BatchResult) ExtractParents(l int, dst []uint32) []uint32 {
 	n := r.b.n
 	if cap(dst) < n {
@@ -725,9 +797,16 @@ func (r *BatchResult) ExtractParents(l int, dst []uint32) []uint32 {
 	fillNoParent(dst)
 	bit := uint64(1) << uint(l)
 	width := r.b.width
-	for _, v := range r.Touched() {
-		if r.b.seen.Load(int(v))&bit != 0 {
-			dst[v] = r.b.parents[int(v)*width+l]
+	inv := r.b.inv
+	for _, v := range r.b.touched.Slice() {
+		if r.b.seen.Load(int(v))&bit == 0 {
+			continue
+		}
+		p := r.b.parents[int(v)*width+l]
+		if inv != nil {
+			dst[inv[v]] = uint32(inv[p])
+		} else {
+			dst[v] = p
 		}
 	}
 	return dst

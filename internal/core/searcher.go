@@ -92,6 +92,17 @@ type Searcher struct {
 	visited  *bitmap.Atomic
 	frontier *bitmap.Atomic // direction-optimizing tier only (lazy)
 
+	// Ordering translation layer (Options.Ordering / Options.Reordered):
+	// the session searches a relabeled copy of the caller's graph, so s.g
+	// is the relabeled CSR, perm maps caller ids into it, inv maps back,
+	// and extParents is the pooled caller-id parent array that results
+	// expose. A query translates its root in (one array read) and its
+	// parent tree out (one O(touched) walk of the monotone queues); the
+	// reset clears extParents alongside parents, so warm queries stay
+	// allocation-free. All nil when the session runs in natural order.
+	perm, inv  []graph.Vertex
+	extParents []uint32
+
 	// q is the monotone queue of the shared-queue tiers (sequential,
 	// simple, single-socket, direction-optimizing); qs the per-socket
 	// queues of the multi-socket tier. At most one of them holds data
@@ -183,8 +194,30 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
 	}
 	n := g.NumVertices()
+	rd := o.Reordered
+	if rd == nil && o.Ordering != graph.OrderNatural {
+		var err error
+		if rd, err = g.Reorder(o.Ordering); err != nil {
+			return nil, err
+		}
+		o.Reordered = rd // sessions rebuilt from these options reuse it
+	}
+	workGraph := g
+	var perm, inv []graph.Vertex
+	if rd != nil {
+		if rd.Graph == nil || rd.Graph.NumVertices() != n || rd.Graph.NumEdges() != g.NumEdges() {
+			return nil, errors.New("core: Options.Reordered does not match the graph")
+		}
+		if rd.Perm != nil && (len(rd.Perm) != n || len(rd.Inv) != n) {
+			return nil, errors.New("core: Options.Reordered permutation length mismatch")
+		}
+		workGraph = rd.Graph
+		perm, inv = rd.Perm, rd.Inv
+	}
 	s := &Searcher{
-		g:       g,
+		g:       workGraph,
+		perm:    perm,
+		inv:     inv,
 		o:       o,
 		n:       n,
 		workers: o.Threads,
@@ -195,6 +228,9 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 		slots:   make([]statSlot, o.Threads),
 		bar:     newBarrier(o.Threads),
 		gate:    newBarrier(o.Threads + 1),
+	}
+	if perm != nil {
+		s.extParents = newParents(n)
 	}
 	for w := range s.ws {
 		s.ws[w].local = make([]uint32, 0, o.LocalBatch)
@@ -237,9 +273,19 @@ func (s *Searcher) ensureTier(alg Algorithm) error {
 			if s.gt == nil {
 				gt := s.o.Transpose
 				if gt == nil {
+					// s.g is already the relabeled graph when the session
+					// reorders, so the lazily computed transpose is too.
 					gt = s.g.Transpose()
 				} else if gt.NumVertices() != s.n || gt.NumEdges() != s.g.NumEdges() {
 					return errors.New("core: Options.Transpose does not match the graph")
+				} else if s.perm != nil {
+					// A caller-supplied transpose is in original id space;
+					// carry it into the session's relabeled space.
+					rgt, err := gt.Relabel(s.perm)
+					if err != nil {
+						return err
+					}
+					gt = rgt
 				}
 				s.gt = gt
 			}
@@ -346,6 +392,14 @@ func (s *Searcher) clearShard(w int) {
 	for i := range p {
 		p[i] = NoParent
 	}
+	if s.extParents != nil {
+		// The full clear restores all of [0, n) across workers, so the
+		// same contiguous shard of the caller-id array covers it too.
+		e := s.extParents[lo:hi]
+		for i := range e {
+			e[i] = NoParent
+		}
+	}
 	s.visited.ResetWords(wlo, whi)
 }
 
@@ -374,16 +428,28 @@ func (s *Searcher) resetState() {
 	case touched >= s.n/4:
 		s.clearShard(0)
 	default:
+		// With an active ordering, a cell of the caller-id parent array
+		// is dirty only if the last *translated* search wrote it — and
+		// that search's touched list is still the queue contents being
+		// walked here (a cancelled search in between translates nothing
+		// and its reset walk just re-clears clean cells), so clearing
+		// extParents[inv[v]] alongside parents[v] restores both arrays.
 		if s.q != nil {
 			for _, v := range s.q.Slice() {
 				s.parents[v] = NoParent
 				s.visited.ClearWordOf(int(v))
+				if s.extParents != nil {
+					s.extParents[s.inv[v]] = NoParent
+				}
 			}
 		}
 		for _, q := range s.qs {
 			for _, v := range q.Slice() {
 				s.parents[v] = NoParent
 				s.visited.ClearWordOf(int(v))
+				if s.extParents != nil {
+					s.extParents[s.inv[v]] = NoParent
+				}
 			}
 		}
 	}
@@ -519,18 +585,26 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 		s.perLevel = nil
 	}
 
+	// The search itself runs in the session's id space: with an active
+	// ordering the root is translated in here and the parent tree
+	// translated back out after the search; without one iroot == root.
+	iroot := root
+	if s.perm != nil {
+		iroot = s.perm[root]
+	}
+
 	start := time.Now()
 	s.levelStart = start
 	var edges, reached int64
 	if alg == AlgSequential {
 		// The serial baseline runs inline on the caller's goroutine.
-		s.q.Push(uint32(root))
-		s.parents[root] = uint32(root)
+		s.q.Push(uint32(iroot))
+		s.parents[iroot] = uint32(iroot)
 		edges, reached = s.sequentialSearch()
 	} else {
 		s.stats.arm(s.o.Instrument, s.coll, s.slots)
 		if alg == AlgMultiSocket {
-			s.qs[s.part.DetermineSocket(uint32(root))].Push(uint32(root))
+			s.qs[s.part.DetermineSocket(uint32(iroot))].Push(uint32(iroot))
 			for i := range s.sockLimit {
 				s.sockLimit[i] = int64(s.qs[i].Size())
 			}
@@ -543,15 +617,15 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 				}
 			}
 		} else {
-			s.q.Push(uint32(root))
+			s.q.Push(uint32(iroot))
 			s.prevLimit = 0
 			s.limit = 1
 			s.bottomUp.Store(false)
 		}
-		s.parents[root] = uint32(root)
+		s.parents[iroot] = uint32(iroot)
 		switch alg {
 		case AlgSingleSocket, AlgMultiSocket, AlgDirectionOptimizing:
-			s.visited.Set(int(root))
+			s.visited.Set(int(iroot))
 		}
 		s.runJob(jobSearch)
 		for w := range s.ws {
@@ -568,8 +642,13 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 		return nil, ctx.Err()
 	}
 
+	resultParents := s.parents
+	if s.perm != nil {
+		s.translateParents()
+		resultParents = s.extParents
+	}
 	s.res = Result{
-		Parents:        s.parents,
+		Parents:        resultParents,
 		Root:           root,
 		Reached:        reached,
 		EdgesTraversed: edges,
@@ -583,6 +662,25 @@ func (s *Searcher) SearchContext(ctx context.Context, root graph.Vertex, q Query
 	s.hasTouched = true
 	s.recordQuery(root, start, dur, reached, edges, obs.OutcomeOK, alg)
 	return &s.res, nil
+}
+
+// translateParents projects the parent tree of the search that just
+// finished from the session's relabeled id space back into caller ids,
+// walking the monotone queues — exactly the reached set — so the cost
+// is O(touched), not O(n). The entries written here are cleared by the
+// next resetState, which walks the same queues.
+func (s *Searcher) translateParents() {
+	inv, parents, ext := s.inv, s.parents, s.extParents
+	if s.q != nil {
+		for _, v := range s.q.Slice() {
+			ext[inv[v]] = uint32(inv[parents[v]])
+		}
+	}
+	for _, q := range s.qs {
+		for _, v := range q.Slice() {
+			ext[inv[v]] = uint32(inv[parents[v]])
+		}
+	}
 }
 
 // recordQuery hands one finished (or cancelled) search to the session's

@@ -16,6 +16,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Vertex identifies a graph vertex. The zero vertex is a valid vertex.
@@ -122,7 +123,17 @@ type Stats struct {
 	Isolated  int // vertices with out-degree 0
 }
 
+// serialStatsThreshold is the vertex count below which ComputeStats and
+// DegreeHistogram scan serially even when parallelism is available —
+// the same goroutine-spawn crossover reasoning as
+// serialBuildThreshold. A var so tests can force the parallel fold on
+// tiny graphs.
+var serialStatsThreshold int64 = 1 << 16
+
 // ComputeStats scans the graph once and returns its degree statistics.
+// Large graphs are scanned by BuildParallelism workers folding private
+// partials, so the CLI startup cost (and the ordering heuristics that
+// reuse it) scale with the search itself.
 func (g *Graph) ComputeStats() Stats {
 	n := g.NumVertices()
 	s := Stats{Vertices: n, Edges: g.NumEdges()}
@@ -130,47 +141,106 @@ func (g *Graph) ComputeStats() Stats {
 		return s
 	}
 	s.MinDegree = int(^uint(0) >> 1)
-	for v := 0; v < n; v++ {
-		d := g.Degree(Vertex(v))
-		if d < s.MinDegree {
-			s.MinDegree = d
+	workers := BuildParallelism()
+	if workers <= 1 || int64(n) < serialStatsThreshold {
+		for v := 0; v < n; v++ {
+			d := g.Degree(Vertex(v))
+			if d < s.MinDegree {
+				s.MinDegree = d
+			}
+			if d > s.MaxDegree {
+				s.MaxDegree = d
+			}
+			if d == 0 {
+				s.Isolated++
+			}
 		}
-		if d > s.MaxDegree {
-			s.MaxDegree = d
+		s.AvgDegree = float64(s.Edges) / float64(n)
+		return s
+	}
+	type partial struct {
+		min, max, isolated int
+		_                  [40]byte // keep workers off each other's cache lines
+	}
+	parts := make([]partial, workers)
+	parallelRange(int64(n), workers, func(w int, lo, hi int64) {
+		p := partial{min: int(^uint(0) >> 1)}
+		for v := lo; v < hi; v++ {
+			d := int(g.offsets[v+1] - g.offsets[v])
+			if d < p.min {
+				p.min = d
+			}
+			if d > p.max {
+				p.max = d
+			}
+			if d == 0 {
+				p.isolated++
+			}
 		}
-		if d == 0 {
-			s.Isolated++
+		parts[w] = p
+	})
+	for i := range parts {
+		// A worker with an empty vertex range keeps min at MaxInt and
+		// max at 0, so folding it is a no-op.
+		if parts[i].min < s.MinDegree {
+			s.MinDegree = parts[i].min
 		}
+		if parts[i].max > s.MaxDegree {
+			s.MaxDegree = parts[i].max
+		}
+		s.Isolated += parts[i].isolated
 	}
 	s.AvgDegree = float64(s.Edges) / float64(n)
 	return s
 }
 
+// degreeBuckets bounds the DegreeHistogram bucket index: degrees are at
+// most NumEdges < 2^31, so bits.Len never exceeds 31 and bucket indices
+// stay below 32.
+const degreeBuckets = 33
+
 // DegreeHistogram returns counts of vertices per degree bucket, where
 // bucket i holds vertices with degree in [2^(i-1), 2^i) and bucket 0
 // holds degree-0 vertices. It is used by the harness to display the
-// power-law shape of R-MAT graphs.
+// power-law shape of R-MAT graphs. Like ComputeStats, large graphs fold
+// per-worker partial histograms.
 func (g *Graph) DegreeHistogram() []int64 {
-	var hist []int64
-	bucketOf := func(d int) int {
-		if d == 0 {
-			return 0
-		}
-		b := 1
-		for d > 1 {
-			d >>= 1
-			b++
-		}
-		return b
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
 	}
-	for v := 0; v < g.NumVertices(); v++ {
-		b := bucketOf(g.Degree(Vertex(v)))
-		for len(hist) <= b {
-			hist = append(hist, 0)
+	// bits.Len is exactly the bucket index: 0 for degree 0, and
+	// [2^(i-1), 2^i) -> i for everything else.
+	var hist [degreeBuckets]int64
+	workers := BuildParallelism()
+	if workers <= 1 || int64(n) < serialStatsThreshold {
+		for v := 0; v < n; v++ {
+			hist[bits.Len(uint(g.Degree(Vertex(v))))]++
 		}
-		hist[b]++
+	} else {
+		parts := make([][degreeBuckets]int64, workers)
+		parallelRange(int64(n), workers, func(w int, lo, hi int64) {
+			var p [degreeBuckets]int64
+			for v := lo; v < hi; v++ {
+				p[bits.Len(uint(g.offsets[v+1]-g.offsets[v]))]++
+			}
+			parts[w] = p
+		})
+		for i := range parts {
+			for b, c := range parts[i] {
+				hist[b] += c
+			}
+		}
 	}
-	return hist
+	top := 0
+	for b, c := range hist {
+		if c != 0 {
+			top = b
+		}
+	}
+	out := make([]int64, top+1)
+	copy(out, hist[:top+1])
+	return out
 }
 
 // MemoryFootprint returns the approximate number of bytes occupied by

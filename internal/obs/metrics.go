@@ -53,6 +53,11 @@ type Metrics struct {
 	BatchLanes      atomic.Int64
 	BatchEdges      atomic.Int64
 	BatchLaneEdges  atomic.Int64
+	// ReorderNs accumulates time spent computing and applying
+	// locality-optimized vertex orderings (graph.Reorder), fed by the
+	// serving layer when a pool relabels its graph at construction. The
+	// counter against which ordering TEPS gains amortize.
+	ReorderNs atomic.Int64
 }
 
 // Snapshot returns the current counter values keyed by name.
@@ -78,6 +83,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"batchLanes":      m.BatchLanes.Load(),
 		"batchEdges":      m.BatchEdges.Load(),
 		"batchLaneEdges":  m.BatchLaneEdges.Load(),
+		"reorderNs":       m.ReorderNs.Load(),
 	}
 }
 

@@ -114,6 +114,20 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "mcbfs_batch_lane_edges_total %d\n", laneEdges)
 	}
 
+	// Active vertex ordering: one-time reorder cost and hub-prefix
+	// residency, emitted only when a pool registered a reordering.
+	if info := t.Ordering(); info != nil {
+		b.WriteString("# HELP mcbfs_reorder_seconds One-time cost of the active vertex reordering (permutation + CSR rewrite).\n")
+		b.WriteString("# TYPE mcbfs_reorder_seconds gauge\n")
+		fmt.Fprintf(&b, "mcbfs_reorder_seconds{order=%q} %s\n", info.Order, promSec(uint64(info.PermNs+info.RelabelNs)))
+		if info.TotalEdges > 0 {
+			b.WriteString("# HELP mcbfs_hub_edge_fraction Fraction of adjacency slots owned by hub vertices (degree >= 2x average).\n")
+			b.WriteString("# TYPE mcbfs_hub_edge_fraction gauge\n")
+			fmt.Fprintf(&b, "mcbfs_hub_edge_fraction %s\n",
+				strconv.FormatFloat(float64(info.HubEdges)/float64(info.TotalEdges), 'g', -1, 64))
+		}
+	}
+
 	// Flight-recorder threshold and pool occupancy gauges.
 	b.WriteString("# HELP mcbfs_slow_capture_threshold_seconds Current flight-recorder slow-capture threshold.\n")
 	b.WriteString("# TYPE mcbfs_slow_capture_threshold_seconds gauge\n")
@@ -180,6 +194,9 @@ type Status struct {
 	// Batch summarizes MS-BFS batch traversals; omitted until one has
 	// been recorded.
 	Batch *BatchStatus `json:"batch,omitempty"`
+	// Ordering describes the active vertex ordering; omitted for
+	// natural-order pools.
+	Ordering *OrderingStatus `json:"ordering,omitempty"`
 	// SlowThresholdNs is the flight recorder's current capture
 	// threshold.
 	SlowThresholdNs int64 `json:"slowThresholdNs"`
@@ -204,6 +221,22 @@ type BatchStatus struct {
 	EdgesScanned int64   `json:"edgesScanned"`
 	LaneEdges    int64   `json:"laneEdges"`
 	Amortization float64 `json:"amortization"`
+}
+
+// OrderingStatus is the vertex-ordering block of Status: which
+// locality ordering the pool relabeled its graph with, the one-time
+// cost (split into permutation computation and CSR rewrite), and the
+// hub-prefix residency — the fraction of adjacency slots owned by hub
+// vertices, i.e. how much of the edge traffic the cache-resident
+// prefix serves.
+type OrderingStatus struct {
+	Order           string  `json:"order"`
+	ReorderNs       int64   `json:"reorderNs"`
+	PermNs          int64   `json:"permNs"`
+	RelabelNs       int64   `json:"relabelNs"`
+	HubVertices     int64   `json:"hubVertices"`
+	HubEdges        int64   `json:"hubEdges"`
+	HubEdgeFraction float64 `json:"hubEdgeFraction"`
 }
 
 // WindowRates holds one rate per rolling window.
@@ -298,6 +331,20 @@ func (t *Telemetry) Status() Status {
 			bs.Amortization = float64(laneEdges) / float64(scanned)
 		}
 		st.Batch = bs
+	}
+	if info := t.Ordering(); info != nil {
+		os := &OrderingStatus{
+			Order:       info.Order,
+			ReorderNs:   info.PermNs + info.RelabelNs,
+			PermNs:      info.PermNs,
+			RelabelNs:   info.RelabelNs,
+			HubVertices: info.HubVertices,
+			HubEdges:    info.HubEdges,
+		}
+		if info.TotalEdges > 0 {
+			os.HubEdgeFraction = float64(info.HubEdges) / float64(info.TotalEdges)
+		}
+		st.Ordering = os
 	}
 	st.SlowThresholdNs = int64(t.flight.Threshold())
 	for _, rec := range t.flight.Slowest(statusTopK) {

@@ -92,6 +92,10 @@ func TestWriteMetricsPrometheusFormat(t *testing.T) {
 	m.TimedOut.Add(2)
 	tel := NewTelemetry(TelemetryOptions{Shards: 4, Metrics: &m})
 	tel.SetPoolGauge(func() (int, int) { return 2, 8 })
+	tel.SetOrdering(OrderingInfo{
+		Order: "degree", PermNs: 1_500_000_000, RelabelNs: 500_000_000,
+		HubVertices: 10, HubEdges: 600, TotalEdges: 1000,
+	})
 	feedTelemetry(tel)
 
 	var b strings.Builder
@@ -127,11 +131,21 @@ func TestWriteMetricsPrometheusFormat(t *testing.T) {
 	if got := values["mcbfs_timed_out_total"]; got != 2 {
 		t.Errorf("attached metric timedOut = %v, want 2", got)
 	}
+	if got := values[`mcbfs_reorder_seconds{order="degree"}`]; got != 2 {
+		t.Errorf("reorder seconds gauge = %v, want 2", got)
+	}
+	if got := values["mcbfs_hub_edge_fraction"]; got != 0.6 {
+		t.Errorf("hub edge fraction gauge = %v, want 0.6", got)
+	}
 }
 
 func TestStatusPage(t *testing.T) {
 	tel := NewTelemetry(TelemetryOptions{Shards: 2})
 	tel.SetPoolGauge(func() (int, int) { return 1, 4 })
+	tel.SetOrdering(OrderingInfo{
+		Order: "dbg", PermNs: 100, RelabelNs: 900,
+		HubVertices: 4, HubEdges: 250, TotalEdges: 1000,
+	})
 	feedTelemetry(tel)
 
 	srv := httptest.NewServer(tel.Handler())
@@ -163,6 +177,10 @@ func TestStatusPage(t *testing.T) {
 	}
 	if st.Queries["ok"] != 10 || st.Queries["cancelled"] != 1 || st.Queries["shed"] != 1 {
 		t.Errorf("queries = %v", st.Queries)
+	}
+	if st.Ordering == nil || st.Ordering.Order != "dbg" || st.Ordering.ReorderNs != 1000 ||
+		st.Ordering.HubVertices != 4 || st.Ordering.HubEdgeFraction != 0.25 {
+		t.Errorf("ordering block = %+v", st.Ordering)
 	}
 	if len(st.Slowest) == 0 {
 		t.Fatal("no slowest entries")

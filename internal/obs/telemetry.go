@@ -57,8 +57,27 @@ type Telemetry struct {
 	batchLaneTotal    atomic.Int64
 	batchEdgesScanned atomic.Int64
 	batchLaneEdges    atomic.Int64
+	// ordering describes the active vertex ordering (nil when the pool
+	// serves in natural order); registered by Pool at construction, read
+	// by the status page and /metrics. Atomic for the same registration
+	// ordering reason as poolGauge.
+	ordering atomic.Pointer[OrderingInfo]
 	// epoch anchors process-relative timestamps on the status page.
 	epoch time.Time
+}
+
+// OrderingInfo describes the vertex ordering a serving pool relabeled
+// its graph with: the ordering's name, the one-time cost split into
+// permutation computation and CSR rewrite, and the hub-prefix residency
+// (how many vertices cleared the hub threshold and what fraction of the
+// adjacency their lists occupy).
+type OrderingInfo struct {
+	Order       string
+	PermNs      int64
+	RelabelNs   int64
+	HubVertices int64
+	HubEdges    int64
+	TotalEdges  int64
 }
 
 // batchLaneBuckets is the lanes histogram's bucket count: powers of two
@@ -113,6 +132,25 @@ func (t *Telemetry) SetPoolGauge(fn func() (busy, size int)) {
 		return
 	}
 	t.poolGauge.Store(&fn)
+}
+
+// SetOrdering registers the active vertex ordering shown on /debug/bfs
+// and /metrics. The Pool registers it when PoolOptions.Search carries a
+// non-natural ordering; no-op on a nil receiver.
+func (t *Telemetry) SetOrdering(info OrderingInfo) {
+	if t == nil {
+		return
+	}
+	t.ordering.Store(&info)
+}
+
+// Ordering returns the registered ordering info, or nil when the hub
+// serves a natural-order pool (or on a nil receiver).
+func (t *Telemetry) Ordering() *OrderingInfo {
+	if t == nil {
+		return nil
+	}
+	return t.ordering.Load()
 }
 
 // RecordQuery deposits one finished query: latency into the histogram's

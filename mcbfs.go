@@ -295,6 +295,45 @@ func TreeDepths(parents []uint32, root Vertex) []int32 {
 // NoDepth marks unreached vertices in TreeDepths output.
 const NoDepth = core.NoDepth
 
+// Ordering selects a locality-optimized vertex ordering: a relabeling
+// of the graph that packs vertices likely to be touched together into
+// adjacent ids, improving cache behaviour of the per-vertex state
+// (parents, visited bitmap) during traversal. Set Options.Ordering (or
+// PoolOptions.Search.Ordering) and the session relabels the graph once
+// at construction; queries keep speaking original vertex ids — roots
+// are translated in and parent arrays translated back out in
+// O(touched) per query, with warm queries still allocation-free.
+type Ordering = graph.Ordering
+
+// Vertex orderings.
+const (
+	// OrderNatural keeps the graph's construction-time ids (the
+	// default; no relabeling, no translation).
+	OrderNatural = graph.OrderNatural
+	// OrderDegree sorts vertices by descending out-degree.
+	OrderDegree = graph.OrderDegree
+	// OrderDegreeGroup packs high-degree hubs into a cache-resident
+	// prefix and keeps the low-degree tail in natural order.
+	OrderDegreeGroup = graph.OrderDegreeGroup
+	// OrderBFS renumbers by BFS level from a high-degree seed
+	// (RCM-style), so frontier neighbours stay close.
+	OrderBFS = graph.OrderBFS
+)
+
+// ParseOrdering maps a CLI-style name ("natural", "degree", "dbg",
+// "rcm") to an Ordering.
+func ParseOrdering(s string) (Ordering, error) { return graph.ParseOrdering(s) }
+
+// Reordered is the outcome of relabeling a graph under an Ordering:
+// the relabeled graph, the permutation pair, timings, and hub-prefix
+// stats. Compute one with Reorder and share it across sessions via
+// Options.Reordered to pay the relabeling once.
+type Reordered = graph.Reordered
+
+// Reorder relabels g under the given ordering. Natural order returns a
+// trivial Reordered sharing g.
+func Reorder(g *Graph, o Ordering) (*Reordered, error) { return g.Reorder(o) }
+
 // NewGraph builds a graph with n vertices from an edge list.
 func NewGraph(n int, edges []Edge) (*Graph, error) {
 	return graph.FromEdges(n, edges)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mcbfs/internal/core"
+	"mcbfs/internal/graph"
 	"mcbfs/internal/obs"
 )
 
@@ -123,6 +124,13 @@ func (o BatchingOptions) withDefaults() BatchingOptions {
 type Pool struct {
 	g   *Graph
 	opt PoolOptions
+	// searchOpt is the resolved per-Searcher configuration: opt.Search
+	// plus the pool's telemetry hub and — when an ordering is active —
+	// the shared Reordered, computed once here so all Size Searchers,
+	// every batch runner, and any post-panic rebuild run on one relabeled
+	// CSR. (Rebuilds previously used opt.Search verbatim, silently
+	// dropping the telemetry wiring.)
+	searchOpt core.Options
 
 	// free holds the idle Searchers (buffered to Size); closing is
 	// closed by Close so blocked acquirers fail over to ErrPoolClosed.
@@ -210,6 +218,30 @@ func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
 	}
 	searchOpt := opt.Search
 	searchOpt.Telemetry = p.tel
+	if searchOpt.Reordered == nil && searchOpt.Ordering != graph.OrderNatural {
+		// Relabel once, up front: every Searcher, batch runner, and
+		// post-panic rebuild shares this one Reordered rather than paying
+		// its own permutation + CSR rewrite.
+		rd, err := g.Reorder(searchOpt.Ordering)
+		if err != nil {
+			return nil, err
+		}
+		searchOpt.Reordered = rd
+		if opt.Metrics != nil {
+			opt.Metrics.ReorderNs.Add(int64(rd.ReorderTime()))
+		}
+	}
+	if rd := searchOpt.Reordered; rd != nil && p.tel != nil {
+		p.tel.SetOrdering(obs.OrderingInfo{
+			Order:       rd.Order.String(),
+			PermNs:      int64(rd.PermTime),
+			RelabelNs:   int64(rd.RelabelTime),
+			HubVertices: int64(rd.HubVertices),
+			HubEdges:    rd.HubEdges,
+			TotalEdges:  g.NumEdges(),
+		})
+	}
+	p.searchOpt = searchOpt
 	for i := 0; i < size; i++ {
 		searchOpt.TelemetryShard = i
 		s, err := core.NewSearcher(g, searchOpt)
@@ -283,6 +315,8 @@ func (p *Pool) newBatchSearcher(runner int) (*core.BatchSearcher, error) {
 		Telemetry:      p.tel,
 		TelemetryShard: runner,
 		Metrics:        p.opt.Metrics,
+		Ordering:       p.searchOpt.Ordering,
+		Reordered:      p.searchOpt.Reordered,
 	})
 }
 
@@ -723,7 +757,7 @@ func (p *Pool) rebuild(old *core.Searcher) {
 		defer func() { _ = recover() }()
 		old.Close()
 	}()
-	s, err := core.NewSearcher(p.g, p.opt.Search)
+	s, err := core.NewSearcher(p.g, p.searchOpt)
 	if err != nil {
 		p.mu.Lock()
 		p.live--
