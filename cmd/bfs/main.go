@@ -68,10 +68,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	g, err := graph.Load(*path)
+	g, meta, err := graph.LoadMeta(*path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfs: %v\n", err)
 		os.Exit(1)
+	}
+	if meta != nil {
+		// The stored layout is relabeled: vertex ids in this run (the
+		// root and any reported parents) live in the baked ordering's id
+		// space, not the generator's.
+		fmt.Printf("graph layout: %s-ordered (ids are relabeled; permutation %s)\n",
+			meta.Order, map[bool]string{true: "stored", false: "not stored"}[meta.Inv != nil])
 	}
 
 	var alg core.Algorithm

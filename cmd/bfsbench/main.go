@@ -52,6 +52,7 @@ func main() {
 		poolSize  = flag.Int("pool", 0, "with -clients: number of pooled Searchers (0 = GOMAXPROCS/2 capped at -clients)")
 		batch     = flag.Int("batch", 0, "with -searches: MS-BFS lane width — single-client mode replays the roots through one batched session; clients mode runs the pool in batching mode, coalescing concurrent queries (0 = off, max 64)")
 		batchWin  = flag.Duration("batch-window", 100*time.Microsecond, "with -clients and -batch: how long an admission window stays open to coalesce queries into one traversal")
+		churn     = flag.Int("churn", 0, "with -clients: hot-swap N freshly generated graph snapshots into the pool while the clients run, reporting tail latency across the swaps")
 		traceOut  = flag.String("trace", "", "run one traced BFS and write a Chrome trace-event JSON file (view in Perfetto)")
 		breakdown = flag.Bool("breakdown", false, "run one traced BFS and print its per-level phase breakdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live expvar counters on this address (e.g. :6060)")
@@ -156,7 +157,7 @@ func main() {
 
 	if *searches > 0 {
 		if *clients > 1 {
-			if err := runClientSearches(out, cfg, *searches, *clients, *poolSize, *batch, *batchWin); err != nil {
+			if err := runClientSearches(out, cfg, *searches, *clients, *poolSize, *batch, *batchWin, *churn); err != nil {
 				fatal("bfsbench: searches: %v\n", err)
 			}
 		} else if err := runSearches(out, cfg, *searches, *batch); err != nil {

@@ -192,7 +192,12 @@ func runBatchedSearches(w io.Writer, g *graph.Graph, rd *graph.Reordered, roots 
 // admitted queries coalesce (up to batchLanes of them per admission
 // window) into shared MS-BFS traversals instead of each borrowing a
 // Searcher.
-func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize, batchLanes int, batchWindow time.Duration) error {
+// When churn > 0, a swapper goroutine hot-swaps that many freshly
+// generated snapshots (same scale, different seeds) into the pool while
+// the clients run, spaced across the workload — the reported latency
+// distribution then covers queries served across live swaps, and the
+// swap/drain counters are printed alongside the serving ones.
+func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSize, batchLanes int, batchWindow time.Duration, churn int) error {
 	if searches < 1 {
 		return fmt.Errorf("searches %d must be >= 1", searches)
 	}
@@ -276,10 +281,43 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 			}
 		}(c)
 	}
+	// Churn mode: swap fresh snapshots in while the clients run. Each
+	// swap is held until the clients have worked through another even
+	// share of the workload, so the latency distribution genuinely
+	// interleaves queries with swaps rather than front-loading them.
+	var swapErr error
+	if churn > 0 {
+		swapDone := make(chan struct{})
+		go func() {
+			defer close(swapDone)
+			for s := 1; s <= churn; s++ {
+				gate := int64(s) * int64(len(roots)) / int64(churn+1)
+				for done.Load() < gate && next.Load() < int64(len(roots)) {
+					if firstErr.Load() != nil {
+						return // the clients died; don't spin on a stalled gate
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+				fresh, err := measuredRMAT(log2(n), int64(n)*16, cfg.Seed+uint64(s))
+				if err != nil {
+					swapErr = fmt.Errorf("generating churn snapshot %d: %w", s, err)
+					return
+				}
+				if err := pool.Swap(fresh); err != nil {
+					swapErr = fmt.Errorf("churn swap %d: %w", s, err)
+					return
+				}
+			}
+		}()
+		<-swapDone
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	if err, _ := firstErr.Load().(error); err != nil {
 		return err
+	}
+	if swapErr != nil {
+		return swapErr
 	}
 
 	snap := serving.Snapshot()
@@ -295,6 +333,21 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 		time.Duration(dist.MaxNs).Round(time.Microsecond))
 	fmt.Fprintf(w, "  serving: cancelled=%d shed=%d recovered=%d\n",
 		snap["cancelled"], snap["shed"], snap["recovered"])
+	if churn > 0 {
+		// Drains run asynchronously once the last borrower returns; give
+		// them a moment so the report shows the settled state.
+		for waited := time.Duration(0); pool.Draining() > 0 && waited < 2*time.Second; waited += 5 * time.Millisecond {
+			time.Sleep(5 * time.Millisecond)
+		}
+		snap = serving.Snapshot()
+		meanSwap := time.Duration(0)
+		if snap["swaps"] > 0 {
+			meanSwap = time.Duration(snap["swapNs"] / snap["swaps"])
+		}
+		fmt.Fprintf(w, "  churn: %d swaps (mean build+publish %v, degraded %d), epoch %d serving, %d snapshots drained, %d still draining\n",
+			snap["swaps"], meanSwap.Round(time.Microsecond), snap["swapDegraded"],
+			pool.Epoch(), snap["snapshotsDrained"], pool.Draining())
+	}
 	if batchLanes > 0 && snap["batchTraversals"] > 0 {
 		meanWidth := float64(snap["batchLanes"]) / float64(snap["batchTraversals"])
 		amort := 1.0

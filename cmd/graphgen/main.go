@@ -84,8 +84,12 @@ func main() {
 
 	// Bake the requested ordering into the saved layout: the relabeled
 	// CSR goes to disk, so every consumer loads the locality-optimized
-	// graph without paying the reorder (or carrying the translation
-	// layer) itself.
+	// graph without paying the reorder itself. The ordering tag and the
+	// inverse permutation travel in the file's version-2 metadata, so
+	// loaders can tell the layout is relabeled and translate vertex ids
+	// back to the generator's originals (previously Save recorded
+	// nothing and the relabeling was silently lost).
+	var meta *graph.FileMeta
 	if ordering != graph.OrderNatural {
 		rd, err := g.Reorder(ordering)
 		if err != nil {
@@ -93,13 +97,14 @@ func main() {
 			os.Exit(1)
 		}
 		g = rd.Graph
+		meta = &graph.FileMeta{Order: rd.Order, Inv: rd.Inv}
 		fmt.Printf("reorder: ordering %s in %v (perm %v + relabel %v)\n",
 			ordering, rd.ReorderTime().Round(time.Millisecond),
 			rd.PermTime.Round(time.Millisecond), rd.RelabelTime.Round(time.Millisecond))
 	}
 
 	saveStart := time.Now()
-	if err := g.Save(*out); err != nil {
+	if err := g.SaveMeta(*out, meta); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}

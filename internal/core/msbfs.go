@@ -678,6 +678,11 @@ func (b *BatchSearcher) Close() error {
 	return nil
 }
 
+// Closed reports whether Close has completed on this BatchSearcher, for
+// owners verifying teardown (e.g. a serving pool rebinding its batch
+// runners to a new graph snapshot).
+func (b *BatchSearcher) Closed() bool { return b.closed }
+
 // laneAll returns the mask of the first lanes lane bits, handling the
 // full 64-lane case where 1<<64 would overflow.
 func laneAll(lanes int) uint64 {

@@ -759,3 +759,8 @@ func (s *Searcher) Close() error {
 	s.wg.Wait()   // join: unpin deferreds have run when this returns
 	return nil
 }
+
+// Closed reports whether Close has completed on this Searcher. It is
+// meant for owners verifying teardown (e.g. a serving pool draining a
+// retired snapshot), not for synchronizing with a concurrent Close.
+func (s *Searcher) Closed() bool { return s.closed }

@@ -65,11 +65,44 @@ func FuzzReadBinary(f *testing.F) {
 		corrupted[29] ^= 0xff
 	}
 	f.Add(corrupted)
+	// Version-2 seeds: a file carrying ordering metadata with the
+	// permutation, a truncation inside the permutation, and one with a
+	// corrupted meta word, so the fuzzer explores the metadata paths.
+	rd, err := g.Reorder(OrderDegree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if _, err := rd.Graph.WriteToMeta(&v2buf, &FileMeta{Order: rd.Order, Inv: rd.Inv}); err != nil {
+		f.Fatal(err)
+	}
+	v2 := v2buf.Bytes()
+	f.Add(v2)
+	f.Add(v2[:len(v2)-3])
+	badMeta := append([]byte(nil), v2...)
+	if len(badMeta) > 31 {
+		badMeta[28] ^= 0xff // the meta word: ordering tag / flags
+	}
+	f.Add(badMeta)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		g, err := ReadFrom(bytes.NewReader(data))
-		if err == nil {
-			if verr := g.Validate(); verr != nil {
-				t.Fatalf("accepted input produced invalid graph: %v", verr)
+		g, meta, err := ReadFromMeta(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted input produced invalid graph: %v", verr)
+		}
+		if meta != nil && meta.Inv != nil {
+			// An accepted permutation must be a bijection on [0, n).
+			if len(meta.Inv) != g.NumVertices() {
+				t.Fatalf("accepted permutation has %d entries for %d vertices", len(meta.Inv), g.NumVertices())
+			}
+			seen := make(map[Vertex]bool, len(meta.Inv))
+			for _, v := range meta.Inv {
+				if int(v) >= g.NumVertices() || seen[v] {
+					t.Fatalf("accepted permutation is not a bijection (value %d)", v)
+				}
+				seen[v] = true
 			}
 		}
 	})

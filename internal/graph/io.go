@@ -11,24 +11,73 @@ import (
 // Binary file format:
 //
 //	magic   uint32  'MCBF'
-//	version uint32  1
+//	version uint32  1 or 2
 //	n       uint64  vertex count
 //	m       uint64  edge count
+//	meta    uint64  (version 2 only) ordering tag << 32 | flags
 //	offsets n+1 × int64 (little endian)
 //	targets m × uint32 (little endian)
+//	inv     n × uint32 (version 2 only, when flags bit 0 is set)
 //
 // The format is deliberately trivial: the harness writes multi-hundred-
 // megabyte graphs and reads them back once per run, so raw arrays beat
 // any clever encoding.
+//
+// Version 2 exists because version 1 silently lost ordering metadata:
+// a file written after Reorder bakes the locality-optimized layout
+// into the CSR, but nothing recorded which ordering produced it or how
+// to translate ids back, so a loader served relabeled vertex ids as if
+// they were original ones. Version 2 records the ordering tag and
+// (optionally) the inverse permutation; version 1 files remain fully
+// readable and WriteTo without metadata still emits byte-identical
+// version 1 output.
 
 const (
-	fileMagic   = 0x4d434246 // "MCBF"
-	fileVersion = 1
+	fileMagic       = 0x4d434246 // "MCBF"
+	fileVersion     = 1
+	fileVersionMeta = 2
+
+	// metaFlagInv marks that the inverse permutation array follows the
+	// targets. All other flag bits must be zero.
+	metaFlagInv = 1 << 0
 )
 
-// WriteTo writes the graph to w in the binary format above. It returns
-// the number of bytes written.
+// FileMeta is the ordering metadata carried by version-2 graph files:
+// which Ordering the stored CSR was relabeled under, and (optionally)
+// the inverse permutation translating relabeled ids back to original
+// ones (Reordered.Inv — Inv[new] == old). A nil FileMeta, or one with
+// OrderNatural and no permutation, round-trips as a version-1 file.
+type FileMeta struct {
+	// Order is the vertex ordering the stored layout was produced by.
+	Order Ordering
+	// Inv maps relabeled ids back to original ids; nil when the file
+	// records only the ordering tag. When non-nil its length equals the
+	// graph's vertex count and it is validated to be a bijection on
+	// load.
+	Inv []Vertex
+}
+
+// isV1 reports whether the metadata carries nothing worth a version-2
+// header.
+func (fm *FileMeta) isV1() bool {
+	return fm == nil || (fm.Order == OrderNatural && fm.Inv == nil)
+}
+
+// WriteTo writes the graph to w as a version-1 file (no ordering
+// metadata). It returns the number of bytes written.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	return g.WriteToMeta(w, nil)
+}
+
+// WriteToMeta writes the graph to w with ordering metadata. A nil (or
+// natural, permutation-free) meta produces a version-1 file identical
+// to WriteTo's output; anything else produces a version-2 file. It
+// returns the number of bytes written.
+func (g *Graph) WriteToMeta(w io.Writer, meta *FileMeta) (int64, error) {
+	n := g.NumVertices()
+	if !meta.isV1() && meta.Inv != nil && len(meta.Inv) != n {
+		return 0, fmt.Errorf("graph: permutation length %d != vertex count %d", len(meta.Inv), n)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var written int64
 	put := func(data any) error {
@@ -38,11 +87,21 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		written += int64(binary.Size(data))
 		return nil
 	}
-	n := g.NumVertices()
+	version := uint64(fileVersion)
+	if !meta.isV1() {
+		version = fileVersionMeta
+	}
 	header := []uint64{
-		uint64(fileMagic)<<32 | fileVersion,
+		uint64(fileMagic)<<32 | version,
 		uint64(n),
 		uint64(len(g.targets)),
+	}
+	if version == fileVersionMeta {
+		var flags uint64
+		if meta.Inv != nil {
+			flags |= metaFlagInv
+		}
+		header = append(header, uint64(meta.Order)<<32|flags)
 	}
 	if err := put(header); err != nil {
 		return written, fmt.Errorf("graph: writing header: %w", err)
@@ -57,30 +116,68 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	if err := put(g.targets); err != nil {
 		return written, fmt.Errorf("graph: writing targets: %w", err)
 	}
+	if version == fileVersionMeta && meta.Inv != nil {
+		if err := put(meta.Inv); err != nil {
+			return written, fmt.Errorf("graph: writing permutation: %w", err)
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return written, fmt.Errorf("graph: flushing: %w", err)
 	}
 	return written, nil
 }
 
-// ReadFrom reads a graph in the binary format produced by WriteTo.
+// ReadFrom reads a graph in the binary format produced by WriteTo or
+// WriteToMeta, discarding any ordering metadata. Use ReadFromMeta to
+// keep it.
 func ReadFrom(r io.Reader) (*Graph, error) {
+	g, _, err := ReadFromMeta(r)
+	return g, err
+}
+
+// ReadFromMeta reads a graph and its ordering metadata. Version-1
+// files (and version-2 files written without metadata) return a nil
+// FileMeta. A stored permutation is validated to be a bijection on
+// [0, n) before it is returned.
+func ReadFromMeta(r io.Reader) (*Graph, *FileMeta, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var header [3]uint64
 	if err := binary.Read(br, binary.LittleEndian, &header); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
+		return nil, nil, fmt.Errorf("graph: reading header: %w", err)
 	}
 	if magic := header[0] >> 32; magic != fileMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+		return nil, nil, fmt.Errorf("graph: bad magic %#x", magic)
 	}
-	if ver := header[0] & 0xffffffff; ver != fileVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	ver := header[0] & 0xffffffff
+	if ver != fileVersion && ver != fileVersionMeta {
+		return nil, nil, fmt.Errorf("graph: unsupported version %d", ver)
 	}
 	n, m := header[1], header[2]
 	if n > MaxVertices {
-		return nil, fmt.Errorf("graph: vertex count %d exceeds maximum", n)
+		return nil, nil, fmt.Errorf("graph: vertex count %d exceeds maximum", n)
 	}
-	// The header sizes are untrusted: read both arrays in bounded
+	var meta *FileMeta
+	if ver == fileVersionMeta {
+		var metaWord uint64
+		if err := binary.Read(br, binary.LittleEndian, &metaWord); err != nil {
+			return nil, nil, fmt.Errorf("graph: reading metadata: %w", err)
+		}
+		order := Ordering(metaWord >> 32)
+		flags := metaWord & 0xffffffff
+		if order > OrderBFS {
+			return nil, nil, fmt.Errorf("graph: unknown ordering tag %d", int(order))
+		}
+		if flags&^uint64(metaFlagInv) != 0 {
+			return nil, nil, fmt.Errorf("graph: unknown metadata flags %#x", flags)
+		}
+		if order != OrderNatural || flags&metaFlagInv != 0 {
+			meta = &FileMeta{Order: order}
+			if flags&metaFlagInv != 0 {
+				meta.Inv = []Vertex{} // marks "permutation follows"
+			}
+		}
+	}
+	// The header sizes are untrusted: read every array in bounded
 	// chunks so a corrupt or malicious header cannot demand gigabytes
 	// of allocation before the stream proves it actually carries the
 	// data.
@@ -93,7 +190,7 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		}
 		part := make([]int64, want)
 		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+			return nil, nil, fmt.Errorf("graph: reading offsets: %w", err)
 		}
 		offsets = append(offsets, part...)
 		read += want
@@ -106,42 +203,78 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		}
 		part := make([]Vertex, want)
 		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
-			return nil, fmt.Errorf("graph: reading targets: %w", err)
+			return nil, nil, fmt.Errorf("graph: reading targets: %w", err)
 		}
 		targets = append(targets, part...)
 		read += want
+	}
+	if meta != nil && meta.Inv != nil {
+		inv := make([]Vertex, 0, min64(n, chunk))
+		for read := uint64(0); read < n; {
+			want := n - read
+			if want > chunk {
+				want = chunk
+			}
+			part := make([]Vertex, want)
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, nil, fmt.Errorf("graph: reading permutation: %w", err)
+			}
+			inv = append(inv, part...)
+			read += want
+		}
+		seen := make([]bool, n)
+		for i, v := range inv {
+			if uint64(v) >= n || seen[v] {
+				return nil, nil, fmt.Errorf("graph: permutation is not a bijection at index %d (value %d)", i, v)
+			}
+			seen[v] = true
+		}
+		meta.Inv = inv
 	}
 	g := &Graph{offsets: offsets, targets: targets}
 	if n == 0 {
 		g.offsets = nil
 	}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("graph: file contents invalid: %w", err)
+		return nil, nil, fmt.Errorf("graph: file contents invalid: %w", err)
 	}
-	return g, nil
+	return g, meta, nil
 }
 
 // Save writes the graph to the named file, creating or truncating it.
 func (g *Graph) Save(path string) error {
+	return g.SaveMeta(path, nil)
+}
+
+// SaveMeta is Save with ordering metadata, as for WriteToMeta.
+func (g *Graph) SaveMeta(path string, meta *FileMeta) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("graph: %w", err)
 	}
-	if _, err := g.WriteTo(f); err != nil {
+	if _, err := g.WriteToMeta(f, meta); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// Load reads a graph from the named file.
+// Load reads a graph from the named file, discarding any ordering
+// metadata.
 func Load(path string) (*Graph, error) {
+	g, _, err := LoadMeta(path)
+	return g, err
+}
+
+// LoadMeta reads a graph and its ordering metadata (nil for version-1
+// files) from the named file.
+func LoadMeta(path string) (*Graph, *FileMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("graph: %w", err)
+		return nil, nil, fmt.Errorf("graph: %w", err)
 	}
 	defer f.Close()
-	return ReadFrom(f)
+	return ReadFromMeta(f)
 }
 
 func min64(a, b uint64) uint64 {

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// metaTestGraph returns a small graph plus a degree reordering of it,
+// for exercising the version-2 metadata path.
+func metaTestGraph(t testing.TB) (*Graph, *Reordered) {
+	t.Helper()
+	g, err := FromEdges(6, []Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 1, Dst: 2}, {Src: 4, Dst: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := g.Reorder(OrderDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, rd
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	_, rd := metaTestGraph(t)
+	var buf bytes.Buffer
+	want := &FileMeta{Order: rd.Order, Inv: rd.Inv}
+	n, err := rd.Graph.WriteToMeta(&buf, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("WriteToMeta reported %d bytes, buffer holds %d", n, buf.Len())
+	}
+	got, meta, err := ReadFromMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(got, rd.Graph) {
+		t.Error("graph did not round-trip through version 2")
+	}
+	if meta == nil {
+		t.Fatal("version-2 file read back with nil metadata")
+	}
+	if meta.Order != OrderDegree {
+		t.Errorf("ordering tag = %v, want %v", meta.Order, OrderDegree)
+	}
+	if len(meta.Inv) != len(rd.Inv) {
+		t.Fatalf("permutation length = %d, want %d", len(meta.Inv), len(rd.Inv))
+	}
+	for i := range rd.Inv {
+		if meta.Inv[i] != rd.Inv[i] {
+			t.Fatalf("permutation differs at %d: %d != %d", i, meta.Inv[i], rd.Inv[i])
+		}
+	}
+}
+
+func TestMetaOrderOnly(t *testing.T) {
+	_, rd := metaTestGraph(t)
+	var buf bytes.Buffer
+	if _, err := rd.Graph.WriteToMeta(&buf, &FileMeta{Order: OrderBFS}); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := ReadFromMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.Order != OrderBFS || meta.Inv != nil {
+		t.Errorf("got meta %+v, want OrderBFS with nil Inv", meta)
+	}
+}
+
+// TestMetaV1Compat pins the compatibility contract: nil metadata writes
+// byte-identical version-1 files, and version-1 files load with nil
+// metadata through both the legacy and the metadata-aware readers.
+func TestMetaV1Compat(t *testing.T) {
+	g, _ := metaTestGraph(t)
+	var v1, viaMeta bytes.Buffer
+	if _, err := g.WriteTo(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteToMeta(&viaMeta, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), viaMeta.Bytes()) {
+		t.Error("WriteToMeta(nil) output differs from version-1 WriteTo")
+	}
+	got, meta, err := ReadFromMeta(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Errorf("version-1 file produced metadata %+v", meta)
+	}
+	if !sameGraph(got, g) {
+		t.Error("version-1 file did not round-trip through ReadFromMeta")
+	}
+	legacy, err := ReadFrom(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(legacy, g) {
+		t.Error("version-1 file did not round-trip through ReadFrom")
+	}
+}
+
+func TestWriteToMetaRejectsBadPerm(t *testing.T) {
+	g, _ := metaTestGraph(t)
+	var buf bytes.Buffer
+	_, err := g.WriteToMeta(&buf, &FileMeta{Order: OrderDegree, Inv: []Vertex{0, 1}})
+	if err == nil || !strings.Contains(err.Error(), "permutation length") {
+		t.Errorf("short permutation accepted: %v", err)
+	}
+}
+
+// v2File assembles a version-2 file by hand so tests can corrupt any
+// field independently of what WriteToMeta is willing to produce.
+func v2File(metaWord uint64, n, m uint64, offsets []int64, targets, inv []Vertex) []byte {
+	var buf bytes.Buffer
+	hdr := []uint64{uint64(fileMagic)<<32 | fileVersionMeta, n, m, metaWord}
+	_ = binary.Write(&buf, binary.LittleEndian, hdr)
+	_ = binary.Write(&buf, binary.LittleEndian, offsets)
+	_ = binary.Write(&buf, binary.LittleEndian, targets)
+	if inv != nil {
+		_ = binary.Write(&buf, binary.LittleEndian, inv)
+	}
+	return buf.Bytes()
+}
+
+// TestReadFromCorrupt drives ReadFromMeta with corrupt and truncated
+// inputs: every case must produce a descriptive error — never a panic,
+// never a structurally broken graph.
+func TestReadFromCorrupt(t *testing.T) {
+	_, rd := metaTestGraph(t)
+	var valid bytes.Buffer
+	if _, err := rd.Graph.WriteToMeta(&valid, &FileMeta{Order: rd.Order, Inv: rd.Inv}); err != nil {
+		t.Fatal(err)
+	}
+	full := valid.Bytes()
+	orderTag := uint64(OrderDegree) << 32
+	offs := []int64{0, 1, 2}
+	targets := []Vertex{1, 0}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"empty", nil, "reading header"},
+		{"bad magic", func() []byte {
+			b := append([]byte(nil), full...)
+			b[7] ^= 0xff // high byte of the magic word
+			return b
+		}(), "bad magic"},
+		{"unsupported version", func() []byte {
+			var buf bytes.Buffer
+			_ = binary.Write(&buf, binary.LittleEndian, []uint64{uint64(fileMagic)<<32 | 99, 0, 0})
+			return buf.Bytes()
+		}(), "unsupported version"},
+		{"vertex count over maximum", func() []byte {
+			var buf bytes.Buffer
+			_ = binary.Write(&buf, binary.LittleEndian, []uint64{uint64(fileMagic)<<32 | 1, MaxVertices + 1, 0})
+			return buf.Bytes()
+		}(), "exceeds maximum"},
+		{"truncated before meta word", full[:24], "reading metadata"},
+		{"truncated offsets", full[:40], "reading offsets"},
+		{"truncated targets", func() []byte {
+			// Keep the header + offsets, cut inside the targets array.
+			n := rd.Graph.NumVertices()
+			return full[:32+8*(n+1)+2]
+		}(), "reading targets"},
+		{"truncated permutation", full[:len(full)-2], "reading permutation"},
+		// Arrays as long as the header promises, but offsets[n] (5)
+		// disagrees with the edge count (2): caught by Validate.
+		{"inconsistent header counts", v2File(orderTag, 2, 2, []int64{0, 1, 5}, targets, nil),
+			"file contents invalid"},
+		{"unknown ordering tag", v2File(uint64(OrderBFS+1)<<32, 2, 2, offs, targets, nil),
+			"unknown ordering tag"},
+		{"unknown metadata flags", v2File(orderTag|0x80, 2, 2, offs, targets, nil),
+			"unknown metadata flags"},
+		{"permutation out of range", v2File(orderTag|metaFlagInv, 2, 2, offs, targets, []Vertex{0, 7}),
+			"not a bijection"},
+		{"permutation with duplicate", v2File(orderTag|metaFlagInv, 2, 2, offs, targets, []Vertex{1, 1}),
+			"not a bijection"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFromMeta(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadFromBoundedAllocation feeds headers claiming enormous arrays
+// backed by a tiny stream and checks the reader fails without first
+// allocating anywhere near what the header promised — the chunked-read
+// defense against corrupt or malicious files.
+func TestReadFromBoundedAllocation(t *testing.T) {
+	huge := []struct {
+		name string
+		data []byte
+	}{
+		{"huge offsets", func() []byte {
+			var buf bytes.Buffer
+			_ = binary.Write(&buf, binary.LittleEndian,
+				[]uint64{uint64(fileMagic)<<32 | 1, MaxVertices, 1 << 40})
+			return buf.Bytes()
+		}()},
+		{"huge permutation", v2File(uint64(OrderDegree)<<32|metaFlagInv, MaxVertices, 0,
+			nil, nil, nil)},
+	}
+	for _, tc := range huge {
+		t.Run(tc.name, func(t *testing.T) {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			_, _, err := ReadFromMeta(bytes.NewReader(tc.data))
+			runtime.ReadMemStats(&after)
+			if err == nil {
+				t.Fatal("truncated huge-header file accepted")
+			}
+			// One offsets chunk is 8 MiB; anything beyond ~64 MiB means
+			// the header size was trusted up front.
+			if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+				t.Errorf("reader allocated %d bytes for a %d-byte file", grew, len(tc.data))
+			}
+		})
+	}
+}

@@ -58,6 +58,22 @@ type Metrics struct {
 	// serving layer when a pool relabels its graph at construction. The
 	// counter against which ordering TEPS gains amortize.
 	ReorderNs atomic.Int64
+	// Swaps counts graph snapshot hot-swaps installed by the serving
+	// layer (mcbfs.Pool.Swap); SwapNs accumulates their end-to-end
+	// latency — building the new epoch's Searchers (reordering
+	// included) plus the atomic install. SwapDegraded counts swap or
+	// rebind attempts that failed and left serving on the stale
+	// snapshot: the degradation rule made visible.
+	Swaps        atomic.Int64
+	SwapNs       atomic.Int64
+	SwapDegraded atomic.Int64
+	// IngestedEdges counts edges buffered through Pool.Ingest awaiting
+	// the next rebuild; SnapshotsDrained counts retired snapshots whose
+	// last borrower has returned and whose Searchers have all been
+	// closed — when it equals Swaps (plus one after Close), no stale
+	// epoch still holds worker goroutines.
+	IngestedEdges    atomic.Int64
+	SnapshotsDrained atomic.Int64
 }
 
 // Snapshot returns the current counter values keyed by name.
@@ -84,6 +100,12 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"batchEdges":      m.BatchEdges.Load(),
 		"batchLaneEdges":  m.BatchLaneEdges.Load(),
 		"reorderNs":       m.ReorderNs.Load(),
+
+		"swaps":            m.Swaps.Load(),
+		"swapNs":           m.SwapNs.Load(),
+		"swapDegraded":     m.SwapDegraded.Load(),
+		"ingestedEdges":    m.IngestedEdges.Load(),
+		"snapshotsDrained": m.SnapshotsDrained.Load(),
 	}
 }
 

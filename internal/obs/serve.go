@@ -128,6 +128,28 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Graph snapshot epoch, swap latency, and staleness — emitted only
+	// when a hot-swapping pool registered an epoch.
+	if epoch, swaps := t.Epoch(); epoch > 0 {
+		b.WriteString("# HELP mcbfs_graph_epoch Current graph snapshot epoch (bumped by each hot-swap).\n")
+		b.WriteString("# TYPE mcbfs_graph_epoch gauge\n")
+		fmt.Fprintf(&b, "mcbfs_graph_epoch %d\n", epoch)
+		b.WriteString("# HELP mcbfs_graph_swaps_total Graph snapshot hot-swaps installed.\n")
+		b.WriteString("# TYPE mcbfs_graph_swaps_total counter\n")
+		fmt.Fprintf(&b, "mcbfs_graph_swaps_total %d\n", swaps)
+		if swaps > 0 {
+			b.WriteString("# HELP mcbfs_swap_duration_seconds Last hot-swap's build+install latency.\n")
+			b.WriteString("# TYPE mcbfs_swap_duration_seconds gauge\n")
+			fmt.Fprintf(&b, "mcbfs_swap_duration_seconds %s\n", promSec(uint64(t.lastSwapNs.Load())))
+			b.WriteString("# HELP mcbfs_snapshot_staleness_seconds Time since the current snapshot was installed.\n")
+			b.WriteString("# TYPE mcbfs_snapshot_staleness_seconds gauge\n")
+			fmt.Fprintf(&b, "mcbfs_snapshot_staleness_seconds %s\n", promSec(uint64(t.Staleness())))
+		}
+		b.WriteString("# HELP mcbfs_snapshots_draining Retired snapshots still waiting for their last borrower.\n")
+		b.WriteString("# TYPE mcbfs_snapshots_draining gauge\n")
+		fmt.Fprintf(&b, "mcbfs_snapshots_draining %d\n", t.draining())
+	}
+
 	// Flight-recorder threshold and pool occupancy gauges.
 	b.WriteString("# HELP mcbfs_slow_capture_threshold_seconds Current flight-recorder slow-capture threshold.\n")
 	b.WriteString("# TYPE mcbfs_slow_capture_threshold_seconds gauge\n")
@@ -139,6 +161,11 @@ func (t *Telemetry) WriteMetrics(w io.Writer) error {
 		b.WriteString("# HELP mcbfs_pool_searchers_busy Searchers currently borrowed by in-flight queries.\n")
 		b.WriteString("# TYPE mcbfs_pool_searchers_busy gauge\n")
 		fmt.Fprintf(&b, "mcbfs_pool_searchers_busy %d\n", busy)
+	}
+	if info := t.info(); info != nil && info.BatchLanes > 0 {
+		b.WriteString("# HELP mcbfs_pool_batch_lanes MS-BFS lane capacity (lanes per traversal x runners).\n")
+		b.WriteString("# TYPE mcbfs_pool_batch_lanes gauge\n")
+		fmt.Fprintf(&b, "mcbfs_pool_batch_lanes %d\n", info.BatchLanes*info.BatchRunners)
 	}
 
 	// Attached Metrics counters, exported generically so the series set
@@ -197,6 +224,9 @@ type Status struct {
 	// Ordering describes the active vertex ordering; omitted for
 	// natural-order pools.
 	Ordering *OrderingStatus `json:"ordering,omitempty"`
+	// Snapshot describes the graph epoch and hot-swap history; omitted
+	// until a pool registers an epoch.
+	Snapshot *SnapshotStatus `json:"snapshot,omitempty"`
 	// SlowThresholdNs is the flight recorder's current capture
 	// threshold.
 	SlowThresholdNs int64 `json:"slowThresholdNs"`
@@ -205,10 +235,30 @@ type Status struct {
 	Slowest []QueryStatus `json:"slowest"`
 }
 
-// PoolStatus is the pool-occupancy block of Status.
+// PoolStatus is the pool-occupancy block of Status. Size and Busy
+// describe the Searcher slots; when the pool runs in batching mode,
+// BatchLanes and BatchRunners report the MS-BFS lane capacity that
+// serves default-configuration queries without borrowing a Searcher —
+// the two admission paths are listed explicitly rather than folded
+// into one misleading number.
 type PoolStatus struct {
-	Size int `json:"size"`
-	Busy int `json:"busy"`
+	Size         int `json:"size"`
+	Busy         int `json:"busy"`
+	BatchLanes   int `json:"batchLanes,omitempty"`
+	BatchRunners int `json:"batchRunners,omitempty"`
+}
+
+// SnapshotStatus is the graph-epoch block of Status: which snapshot is
+// serving, how many hot-swaps have been installed, the last swap's
+// build+install latency, how stale the serving snapshot is, and how
+// many retired snapshots are still draining in-flight borrowers.
+type SnapshotStatus struct {
+	Epoch       int64  `json:"epoch"`
+	Swaps       int64  `json:"swaps"`
+	LastSwap    string `json:"lastSwap,omitempty"`
+	LastSwapNs  int64  `json:"lastSwapNs,omitempty"`
+	StalenessNs int64  `json:"stalenessNs,omitempty"`
+	Draining    int    `json:"draining"`
 }
 
 // BatchStatus is the MS-BFS block of Status: batch volume, mean width,
@@ -295,6 +345,19 @@ func (t *Telemetry) Status() Status {
 		return st
 	}
 	st.Pool.Busy, st.Pool.Size = t.pool()
+	if info := t.info(); info != nil {
+		st.Pool.BatchLanes = info.BatchLanes
+		st.Pool.BatchRunners = info.BatchRunners
+	}
+	if epoch, swaps := t.Epoch(); epoch > 0 {
+		ss := &SnapshotStatus{Epoch: epoch, Swaps: swaps, Draining: t.draining()}
+		if at := t.lastSwapAt.Load(); at != 0 {
+			ss.LastSwap = time.Unix(0, at).Format(time.RFC3339Nano)
+			ss.LastSwapNs = t.lastSwapNs.Load()
+			ss.StalenessNs = int64(t.Staleness())
+		}
+		st.Snapshot = ss
+	}
 	st.QPS = WindowRates{
 		S1:  t.QPS(1 * time.Second),
 		S10: t.QPS(10 * time.Second),

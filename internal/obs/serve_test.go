@@ -141,6 +141,12 @@ func TestWriteMetricsPrometheusFormat(t *testing.T) {
 
 func TestStatusPage(t *testing.T) {
 	tel := NewTelemetry(TelemetryOptions{Shards: 2})
+	// Pin the rolling-QPS clock: with the real clock, the wall second
+	// can tick over between feedTelemetry and the handler's QPS read,
+	// leaving the 1-second window empty and the assertion flaky.
+	clk := &fakeClock{ns: int64(1000 * time.Second)}
+	tel.ok.nowNanos = clk.now
+	tel.errs.nowNanos = clk.now
 	tel.SetPoolGauge(func() (int, int) { return 1, 4 })
 	tel.SetOrdering(OrderingInfo{
 		Order: "dbg", PermNs: 100, RelabelNs: 900,

@@ -62,8 +62,34 @@ type Telemetry struct {
 	// by the status page and /metrics. Atomic for the same registration
 	// ordering reason as poolGauge.
 	ordering atomic.Pointer[OrderingInfo]
+	// poolInfo is the richer capacity gauge a hot-swapping pool
+	// registers: Searcher slots and batch lanes reported separately, so
+	// batching-dominant configurations are not misread as tiny pools.
+	// When set it supersedes poolGauge on the status page.
+	poolInfo atomic.Pointer[func() PoolInfo]
+	// Snapshot hot-swap telemetry: the current graph epoch, cumulative
+	// swap count and build+install time, the last swap's latency, and
+	// when it landed (from which the status page derives snapshot
+	// staleness). drainGauge reports retired-but-undrained snapshots.
+	graphEpoch  atomic.Int64
+	swaps       atomic.Int64
+	swapTotalNs atomic.Int64
+	lastSwapNs  atomic.Int64
+	lastSwapAt  atomic.Int64 // unix nanos; 0 = never swapped
+	drainGauge  atomic.Pointer[func() int]
 	// epoch anchors process-relative timestamps on the status page.
 	epoch time.Time
+}
+
+// PoolInfo is the serving pool's capacity broken out by admission path:
+// warm Searcher slots (with how many are currently borrowed) and — when
+// batching is on — the MS-BFS lane capacity (Lanes × Runners) that
+// serves default-configuration queries without borrowing a Searcher.
+type PoolInfo struct {
+	SearcherSlots int
+	SearchersBusy int
+	BatchLanes    int
+	BatchRunners  int
 }
 
 // OrderingInfo describes the vertex ordering a serving pool relabeled
@@ -151,6 +177,86 @@ func (t *Telemetry) Ordering() *OrderingInfo {
 		return nil
 	}
 	return t.ordering.Load()
+}
+
+// SetPoolInfo registers the structured capacity gauge (Searcher slots
+// and batch lanes separately); fn must be safe for concurrent use. When
+// registered it supersedes SetPoolGauge on the status page and adds the
+// batch-lane gauges to /metrics. No-op on a nil receiver.
+func (t *Telemetry) SetPoolInfo(fn func() PoolInfo) {
+	if t == nil {
+		return
+	}
+	t.poolInfo.Store(&fn)
+}
+
+// SetEpoch publishes the current graph epoch without recording a swap —
+// the pool calls it once at construction so the status page shows epoch
+// 1 before the first Swap. No-op on a nil receiver.
+func (t *Telemetry) SetEpoch(epoch int64) {
+	if t == nil {
+		return
+	}
+	t.graphEpoch.Store(epoch)
+}
+
+// RecordSwap deposits one completed graph snapshot hot-swap: the new
+// epoch becomes current and d — building the epoch's Searchers plus the
+// atomic install — feeds the swap latency series. Safe for concurrent
+// use, no-op on a nil receiver.
+func (t *Telemetry) RecordSwap(epoch int64, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.graphEpoch.Store(epoch)
+	t.swaps.Add(1)
+	t.swapTotalNs.Add(int64(d))
+	t.lastSwapNs.Store(int64(d))
+	t.lastSwapAt.Store(time.Now().UnixNano())
+}
+
+// SetDrainGauge registers the retired-but-undrained snapshot count
+// shown on /debug/bfs and /metrics; fn must be safe for concurrent use.
+// No-op on a nil receiver.
+func (t *Telemetry) SetDrainGauge(fn func() int) {
+	if t == nil {
+		return
+	}
+	t.drainGauge.Store(&fn)
+}
+
+// Epoch returns the current graph epoch (0 when no pool registered
+// one) and the number of swaps recorded.
+func (t *Telemetry) Epoch() (epoch, swaps int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.graphEpoch.Load(), t.swaps.Load()
+}
+
+// Staleness returns the time since the last recorded swap, or 0 when
+// no swap has been recorded (the initial snapshot is as fresh as the
+// pool).
+func (t *Telemetry) Staleness() time.Duration {
+	if t == nil {
+		return 0
+	}
+	at := t.lastSwapAt.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, at))
+}
+
+// draining reads the registered drain gauge, or 0 when none is set.
+func (t *Telemetry) draining() int {
+	if t == nil {
+		return 0
+	}
+	if fn := t.drainGauge.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0
 }
 
 // RecordQuery deposits one finished query: latency into the histogram's
@@ -257,13 +363,32 @@ func (t *Telemetry) ErrorRate(window time.Duration) float64 {
 	return t.errs.Rate(window)
 }
 
-// pool reads the registered pool gauge, or (0, 0) when none is set.
+// pool reads the registered pool occupancy: the structured PoolInfo
+// gauge when one is set (Searcher slots only — batch lanes are reported
+// separately), else the plain (busy, size) gauge, else (0, 0).
 func (t *Telemetry) pool() (busy, size int) {
 	if t == nil {
 		return 0, 0
+	}
+	if fn := t.poolInfo.Load(); fn != nil {
+		info := (*fn)()
+		return info.SearchersBusy, info.SearcherSlots
 	}
 	if fn := t.poolGauge.Load(); fn != nil {
 		return (*fn)()
 	}
 	return 0, 0
+}
+
+// info reads the structured capacity gauge, or nil when only the plain
+// gauge (or nothing) is registered.
+func (t *Telemetry) info() *PoolInfo {
+	if t == nil {
+		return nil
+	}
+	if fn := t.poolInfo.Load(); fn != nil {
+		i := (*fn)()
+		return &i
+	}
+	return nil
 }

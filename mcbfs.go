@@ -362,9 +362,21 @@ func SetBuildParallelism(p int) { graph.SetBuildParallelism(p) }
 // BuildParallelism reports the effective CSR construction worker count.
 func BuildParallelism() int { return graph.BuildParallelism() }
 
-// LoadGraph reads a graph from a file written by (*Graph).Save.
+// LoadGraph reads a graph from a file written by (*Graph).Save,
+// discarding any ordering metadata a version-2 file carries.
 func LoadGraph(path string) (*Graph, error) {
 	return graph.Load(path)
+}
+
+// FileMeta is the ordering metadata carried by version-2 graph files:
+// the Ordering the stored CSR layout was produced by, and optionally
+// the inverse permutation back to original vertex ids.
+type FileMeta = graph.FileMeta
+
+// LoadGraphMeta reads a graph together with its ordering metadata (nil
+// for files written without any, including all version-1 files).
+func LoadGraphMeta(path string) (*Graph, *FileMeta, error) {
+	return graph.LoadMeta(path)
 }
 
 // UniformGraph generates a uniformly random directed graph with n

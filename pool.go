@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcbfs/internal/core"
@@ -74,6 +75,13 @@ type PoolOptions struct {
 	// overrides (Search with a non-zero Query) and QueryFunc calls still
 	// use the Searcher pool.
 	Batching BatchingOptions
+	// RebuildThreshold, when positive, turns Ingest into a
+	// self-rebuilding pipeline: once at least that many edges are
+	// buffered, a background goroutine merges them with the serving
+	// graph through the parallel CSR builder and hot-swaps the result
+	// in (exactly as an explicit Rebuild would). 0 leaves rebuilds to
+	// explicit Rebuild / Swap calls.
+	RebuildThreshold int
 }
 
 // BatchingOptions configures the Pool's MS-BFS batching mode.
@@ -122,29 +130,50 @@ func (o BatchingOptions) withDefaults() BatchingOptions {
 // would overwrite them. Use QueryFunc to read the full Result —
 // including Parents — while the borrow is still held.
 type Pool struct {
-	g   *Graph
 	opt PoolOptions
-	// searchOpt is the resolved per-Searcher configuration: opt.Search
-	// plus the pool's telemetry hub and — when an ordering is active —
-	// the shared Reordered, computed once here so all Size Searchers,
-	// every batch runner, and any post-panic rebuild run on one relabeled
-	// CSR. (Rebuilds previously used opt.Search verbatim, silently
-	// dropping the telemetry wiring.)
-	searchOpt core.Options
+	// size is the number of Searcher slots every snapshot is built with;
+	// ordering is the effective vertex ordering each snapshot is
+	// relabeled under (from Search.Reordered's Order when one was
+	// supplied, else Search.Ordering), both fixed at construction.
+	// transposeSelf records that Options.Transpose was the graph itself
+	// (the symmetric idiom), which Swap carries to new snapshots.
+	size          int
+	ordering      graph.Ordering
+	transposeSelf bool
 
-	// free holds the idle Searchers (buffered to Size); closing is
-	// closed by Close so blocked acquirers fail over to ErrPoolClosed.
-	free    chan *core.Searcher
+	// snap is the serving snapshot: the graph epoch new queries borrow
+	// from. Swap publishes a successor here and retires the old one; a
+	// retired snapshot drains — its Searchers are closed — only after
+	// its last in-flight borrower returns (see poolSnapshot).
+	snap atomic.Pointer[poolSnapshot]
+	// swapMu serializes snapshot transitions (Swap, Rebuild, Close), so
+	// epochs advance one at a time and a Rebuild's read-merge-swap of
+	// the serving graph is atomic against concurrent Swaps.
+	swapMu sync.Mutex
+	// draining counts retired snapshots whose drain has not finished;
+	// drains joins them all at Close.
+	draining atomic.Int64
+	drains   sync.WaitGroup
+
+	// closing is closed by Close so blocked acquirers fail over to
+	// ErrPoolClosed.
 	closing chan struct{}
 
 	mu     sync.Mutex
 	closed bool
-	// live is how many Searchers exist (idle or borrowed); Close joins
-	// that many. broken records a rebuild failure after a panic — from
-	// then on the pool serves errors rather than hanging callers on a
-	// slot that will never be refilled.
-	live   int
-	broken error
+	// broken records a rebuild failure after a panic — from then on the
+	// pool serves errors rather than hanging callers on a slot that will
+	// never be refilled. closeErr collects the first Searcher.Close
+	// error from any snapshot drain, for Close to return.
+	broken   error
+	closeErr error
+
+	// Ingest's edge buffer, merged into the serving graph by Rebuild.
+	// rebuilding single-flights the RebuildThreshold background rebuild.
+	pendMu     sync.Mutex
+	pendSrcs   []Vertex
+	pendDsts   []Vertex
+	rebuilding atomic.Bool
 
 	// tel is the resolved telemetry hub (PoolOptions.Telemetry, or one
 	// the pool built for ServeMonitor); monitor the HTTP server bound
@@ -161,7 +190,9 @@ type Pool struct {
 	// batchProducers tracks queries between admission registration and
 	// reply receipt; Close waits for it before closing batchStop, so a
 	// runner that sees batchStop knows no sender can still be in
-	// flight and the final drain cannot strand anyone.
+	// flight and the final drain cannot strand anyone. Each runner
+	// rebinds its BatchSearcher to the serving snapshot between batches,
+	// so swaps reach the batching path without pausing it.
 	batching       BatchingOptions
 	batchCh        chan batchReq
 	batchStop      chan struct{}
@@ -201,64 +232,51 @@ func NewPool(g *Graph, opt PoolOptions) (*Pool, error) {
 		}
 	}
 	p := &Pool{
-		g:       g,
-		opt:     opt,
-		free:    make(chan *core.Searcher, size),
-		closing: make(chan struct{}),
-		live:    size,
+		opt:      opt,
+		size:     size,
+		ordering: opt.Search.Ordering,
+		closing:  make(chan struct{}),
 	}
+	if rd := opt.Search.Reordered; rd != nil {
+		p.ordering = rd.Order
+	}
+	p.transposeSelf = opt.Search.Transpose == g
 	p.tel = opt.Telemetry
 	if p.tel == nil && opt.ServeMonitor != "" {
 		p.tel = obs.NewTelemetry(obs.TelemetryOptions{Shards: size, Metrics: opt.Metrics})
 	}
+	// Batch capacity is decided up front (immutable after this point) so
+	// the telemetry gauges registered below never race startBatching.
+	batchLanes, batchRunners := 0, 0
+	if opt.Batching.Lanes > 0 {
+		b := opt.Batching.withDefaults()
+		batchLanes, batchRunners = b.Lanes, b.Runners
+	}
 	if p.tel != nil {
-		p.tel.SetPoolGauge(func() (busy, total int) {
-			return cap(p.free) - len(p.free), cap(p.free)
-		})
-	}
-	searchOpt := opt.Search
-	searchOpt.Telemetry = p.tel
-	if searchOpt.Reordered == nil && searchOpt.Ordering != graph.OrderNatural {
-		// Relabel once, up front: every Searcher, batch runner, and
-		// post-panic rebuild shares this one Reordered rather than paying
-		// its own permutation + CSR rewrite.
-		rd, err := g.Reorder(searchOpt.Ordering)
-		if err != nil {
-			return nil, err
-		}
-		searchOpt.Reordered = rd
-		if opt.Metrics != nil {
-			opt.Metrics.ReorderNs.Add(int64(rd.ReorderTime()))
-		}
-	}
-	if rd := searchOpt.Reordered; rd != nil && p.tel != nil {
-		p.tel.SetOrdering(obs.OrderingInfo{
-			Order:       rd.Order.String(),
-			PermNs:      int64(rd.PermTime),
-			RelabelNs:   int64(rd.RelabelTime),
-			HubVertices: int64(rd.HubVertices),
-			HubEdges:    rd.HubEdges,
-			TotalEdges:  g.NumEdges(),
-		})
-	}
-	p.searchOpt = searchOpt
-	for i := 0; i < size; i++ {
-		searchOpt.TelemetryShard = i
-		s, err := core.NewSearcher(g, searchOpt)
-		if err != nil {
-			for len(p.free) > 0 {
-				(<-p.free).Close()
+		p.tel.SetPoolInfo(func() obs.PoolInfo {
+			sn := p.snap.Load()
+			return obs.PoolInfo{
+				SearcherSlots: cap(sn.free),
+				SearchersBusy: cap(sn.free) - len(sn.free),
+				BatchLanes:    batchLanes,
+				BatchRunners:  batchRunners,
 			}
-			return nil, err
-		}
-		p.free <- s
+		})
+		p.tel.SetDrainGauge(p.Draining)
+	}
+	sn, err := p.buildSnapshot(g, 1, opt.Search.Reordered)
+	if err != nil {
+		return nil, err
+	}
+	p.drains.Add(1)
+	p.snap.Store(sn)
+	if p.tel != nil {
+		p.tel.SetEpoch(1)
 	}
 	if opt.ServeMonitor != "" {
 		ln, err := net.Listen("tcp", opt.ServeMonitor)
 		if err != nil {
-			for len(p.free) > 0 {
-				(<-p.free).Close()
-			}
+			p.Close()
 			return nil, fmt.Errorf("mcbfs: monitor listen on %q: %w", opt.ServeMonitor, err)
 		}
 		p.monitorAddr = ln.Addr().String()
@@ -291,8 +309,9 @@ func (p *Pool) startBatching() error {
 	for i := 0; i < nReplies; i++ {
 		p.replies <- make(chan batchReply, 1)
 	}
+	sn := p.snap.Load()
 	for i := 0; i < b.Runners; i++ {
-		bs, err := p.newBatchSearcher(i)
+		bs, err := p.newBatchSearcher(i, sn)
 		if err != nil {
 			close(p.batchStop)
 			p.batchWG.Wait()
@@ -300,23 +319,23 @@ func (p *Pool) startBatching() error {
 			return err
 		}
 		p.batchWG.Add(1)
-		go p.batchRunner(i, bs)
+		go p.batchRunner(i, bs, sn)
 	}
 	return nil
 }
 
-// newBatchSearcher builds one runner's MS-BFS session, wired to the
-// pool's telemetry and metrics.
-func (p *Pool) newBatchSearcher(runner int) (*core.BatchSearcher, error) {
-	return core.NewBatchSearcher(p.g, core.BatchOptions{
+// newBatchSearcher builds one runner's MS-BFS session over a given
+// snapshot's graph, wired to the pool's telemetry and metrics.
+func (p *Pool) newBatchSearcher(runner int, sn *poolSnapshot) (*core.BatchSearcher, error) {
+	return core.NewBatchSearcher(sn.g, core.BatchOptions{
 		Width:          p.batching.Lanes,
 		Threads:        p.opt.Search.Threads,
 		PinThreads:     p.opt.Search.PinThreads,
 		Telemetry:      p.tel,
 		TelemetryShard: runner,
 		Metrics:        p.opt.Metrics,
-		Ordering:       p.searchOpt.Ordering,
-		Reordered:      p.searchOpt.Reordered,
+		Ordering:       sn.searchOpt.Ordering,
+		Reordered:      sn.searchOpt.Reordered,
 	})
 }
 
@@ -330,8 +349,49 @@ func (p *Pool) Telemetry() *Telemetry { return p.tel }
 // discover the kernel-assigned port.
 func (p *Pool) MonitorAddr() string { return p.monitorAddr }
 
-// Size returns the number of Searchers the pool was built with.
-func (p *Pool) Size() int { return cap(p.free) }
+// Size returns the pool's total serving capacity: Searcher slots plus
+// batch lanes across all runners (the maximum queries in flight at
+// once). Use Slots for the two components separately. Before this
+// accounted for batching it reported only cap(free), understating a
+// batching pool's concurrency.
+func (p *Pool) Size() int {
+	searchers, lanes := p.Slots()
+	return searchers + lanes
+}
+
+// Slots reports the pool's serving capacity by kind: the number of
+// warm Searcher slots (per-query borrows) and the number of MS-BFS
+// batch lanes across all runners (0 when batching is off).
+func (p *Pool) Slots() (searchers, batchLanes int) {
+	searchers = p.size
+	if p.batchCh != nil {
+		batchLanes = p.batching.Lanes * p.batching.Runners
+	}
+	return searchers, batchLanes
+}
+
+// Epoch returns the serving snapshot's epoch: 1 for the graph the pool
+// was built with, incremented by each successful Swap (including the
+// ones Rebuild and threshold-triggered ingests perform).
+func (p *Pool) Epoch() int64 { return p.snap.Load().epoch }
+
+// Graph returns the graph the serving snapshot answers queries on.
+// After a Swap this is the swapped-in graph even while older epochs
+// are still draining in-flight queries.
+func (p *Pool) Graph() *Graph { return p.snap.Load().g }
+
+// Draining reports how many retired snapshots are still draining:
+// superseded epochs holding Searchers open for their last in-flight
+// borrowers. 0 means every past epoch has fully torn down.
+func (p *Pool) Draining() int { return int(p.draining.Load()) }
+
+// Pending reports how many ingested edges are buffered awaiting the
+// next Rebuild.
+func (p *Pool) Pending() int {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	return len(p.pendSrcs)
+}
 
 // Query runs one BFS from root with the pool's session configuration.
 // See Pool's type documentation for what the returned Result contains.
@@ -363,7 +423,7 @@ func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error)
 		return p.batchedSearch(ctx, root)
 	}
 	qstart := p.telNow()
-	s, err := p.acquire(ctx)
+	sn, s, err := p.acquire(ctx)
 	if err != nil {
 		p.noteShed(qstart, err)
 		return Result{}, err
@@ -371,7 +431,7 @@ func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error)
 	r, err, panicked := p.searchOn(s, ctx, root, q)
 	if panicked {
 		p.notePanic(root, qstart)
-		p.rebuild(s)
+		p.rebuild(sn, s)
 		return Result{}, err
 	}
 	var res Result
@@ -379,7 +439,8 @@ func (p *Pool) Search(ctx context.Context, root Vertex, q Query) (Result, error)
 		res = *r
 		res.Parents, res.PerLevel, res.Trace = nil, nil, nil
 	}
-	p.free <- s
+	sn.free <- s
+	sn.release(p)
 	p.countCancelled(err)
 	return res, err
 }
@@ -402,7 +463,7 @@ func (p *Pool) QueryFunc(ctx context.Context, root Vertex, q Query, fn func(*Res
 		}
 	}
 	qstart := p.telNow()
-	s, err := p.acquire(ctx)
+	sn, s, err := p.acquire(ctx)
 	if err != nil {
 		p.noteShed(qstart, err)
 		return err
@@ -410,35 +471,60 @@ func (p *Pool) QueryFunc(ctx context.Context, root Vertex, q Query, fn func(*Res
 	err, panicked := p.runWith(s, ctx, root, q, fn)
 	if panicked {
 		p.notePanic(root, qstart)
-		p.rebuild(s)
+		p.rebuild(sn, s)
 		return err
 	}
-	p.free <- s
+	sn.free <- s
+	sn.release(p)
 	p.countCancelled(err)
 	return err
 }
 
-// acquire borrows a Searcher: the fast path takes an idle one without
-// blocking; the slow path waits until one frees up, the pool closes,
-// or the caller's context expires (shed). Shed accounting — the Shed
-// counter and the telemetry error outcome — is centralized in
-// noteShed, which every admission path calls on its error.
-func (p *Pool) acquire(ctx context.Context) (*core.Searcher, error) {
-	if err := p.err(); err != nil {
-		return nil, err
-	}
-	select {
-	case s := <-p.free:
-		return s, nil
-	default:
-	}
-	select {
-	case s := <-p.free:
-		return s, nil
-	case <-p.closing:
-		return nil, ErrPoolClosed
-	case <-ctx.Done():
-		return nil, fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
+// acquire borrows a Searcher from the serving snapshot: the fast path
+// takes an idle one without blocking; the slow path waits until one
+// frees up, the snapshot is superseded by a Swap (retry on the new
+// epoch), the pool closes, or the caller's context expires (shed).
+// The returned snapshot holds one reference for the borrow; the caller
+// must return the Searcher to sn.free and then call sn.release(p).
+// Shed accounting — the Shed counter and the telemetry error outcome —
+// is centralized in noteShed, which every admission path calls on its
+// error.
+func (p *Pool) acquire(ctx context.Context) (*poolSnapshot, *core.Searcher, error) {
+	for {
+		if err := p.err(); err != nil {
+			return nil, nil, err
+		}
+		sn := p.snap.Load()
+		// Reference first, then re-check retirement: a Swap between the
+		// Load and the Add may already have begun draining, and a drained
+		// snapshot's free channel would block us forever. The stale
+		// reference is released (possibly re-triggering the Once-guarded
+		// drain) and the loop retries on the new epoch.
+		sn.refs.Add(1)
+		if sn.retired.Load() {
+			sn.release(p)
+			continue
+		}
+		select {
+		case s := <-sn.free:
+			return sn, s, nil
+		default:
+		}
+		select {
+		case s := <-sn.free:
+			return sn, s, nil
+		case <-sn.retiredCh:
+			// Swapped out from under us mid-wait: move to the new epoch
+			// rather than queueing on Searchers that are being torn down.
+			sn.release(p)
+			continue
+		case <-p.closing:
+			sn.release(p)
+			return nil, nil, ErrPoolClosed
+		case <-ctx.Done():
+			sn.release(p)
+			return nil, nil, fmt.Errorf("%w: %w", ErrPoolSaturated, ctx.Err())
+		}
 	}
 }
 
@@ -507,7 +593,14 @@ func (p *Pool) batchedSearch(ctx context.Context, root Vertex) (Result, error) {
 // lane budget), run the shared MS-BFS traversal with each lane bounded
 // by its own query context, and deliver per-lane results. A panicking
 // traversal poisons only this runner's BatchSearcher, which is rebuilt.
-func (p *Pool) batchRunner(runner int, bs *core.BatchSearcher) {
+//
+// The runner tracks the snapshot its BatchSearcher was built over:
+// after collecting each batch it compares against the serving snapshot
+// and, on an epoch change, rebinds — builds a fresh BatchSearcher on
+// the new graph and closes the old one. If the rebind fails, the
+// runner degrades to its stale snapshot (counted in SwapDegraded)
+// rather than dropping queries; it retries on the next batch.
+func (p *Pool) batchRunner(runner int, bs *core.BatchSearcher, sn *poolSnapshot) {
 	defer p.batchWG.Done()
 	lanes := p.batching.Lanes
 	window := p.batching.Window
@@ -559,6 +652,19 @@ func (p *Pool) batchRunner(runner int, bs *core.BatchSearcher) {
 			}
 		}
 
+		// Rebind to the serving snapshot if a Swap landed since the last
+		// batch. Done after collection so the admission window isn't
+		// extended by the rebuild; the batch itself runs on whichever
+		// epoch the rebind reached.
+		if cur := p.snap.Load(); cur != sn {
+			if nbs, err := p.newBatchSearcher(runner, cur); err == nil {
+				bs.Close()
+				bs, sn = nbs, cur
+			} else if p.opt.Metrics != nil {
+				p.opt.Metrics.SwapDegraded.Add(1)
+			}
+		}
+
 		roots = roots[:0]
 		ctxs = ctxs[:0]
 		for _, req := range reqs {
@@ -573,7 +679,7 @@ func (p *Pool) batchRunner(runner int, bs *core.BatchSearcher) {
 			if p.opt.Metrics != nil {
 				p.opt.Metrics.Recovered.Add(1)
 			}
-			bs = p.rebuildBatch(bs, runner)
+			bs, sn = p.rebuildBatch(bs, runner)
 			if bs == nil {
 				// The pool is broken; keep answering (with the error)
 				// so admitted producers are never stranded.
@@ -638,21 +744,24 @@ func (p *Pool) batchOn(bs *core.BatchSearcher, roots []Vertex, ctxs []context.Co
 }
 
 // rebuildBatch replaces a runner's BatchSearcher after a panic,
-// mirroring rebuild for the Searcher pool. Returns nil — and marks the
-// pool broken — when the rebuild fails.
-func (p *Pool) rebuildBatch(old *core.BatchSearcher, runner int) *core.BatchSearcher {
+// mirroring rebuild for the Searcher pool. The replacement is built
+// over the current serving snapshot (the panicked one's epoch may be
+// long gone). Returns nil — and marks the pool broken — when the
+// rebuild fails.
+func (p *Pool) rebuildBatch(old *core.BatchSearcher, runner int) (*core.BatchSearcher, *poolSnapshot) {
 	go func() {
 		defer func() { _ = recover() }()
 		old.Close()
 	}()
-	bs, err := p.newBatchSearcher(runner)
+	sn := p.snap.Load()
+	bs, err := p.newBatchSearcher(runner, sn)
 	if err != nil {
 		p.mu.Lock()
 		p.broken = fmt.Errorf("mcbfs: rebuilding batch searcher after panic: %w", err)
 		p.mu.Unlock()
-		return nil
+		return nil, nil
 	}
-	return bs
+	return bs, sn
 }
 
 // searchOn executes one borrowed search under a recover scope, so a
@@ -733,9 +842,17 @@ func (p *Pool) notePanic(root Vertex, qstart time.Time) {
 }
 
 // countCancelled feeds the Cancelled serving counter for queries the
-// context unwound.
+// context unwound. A shed query's error wraps the context error that
+// expired while it waited for admission, so it matches both
+// ErrPoolSaturated and context.DeadlineExceeded/Canceled; noteShed
+// already counted it, and counting it here too would double-book one
+// outcome across Shed and Cancelled. Each query increments exactly one
+// of the two.
 func (p *Pool) countCancelled(err error) {
 	if err == nil || p.opt.Metrics == nil {
+		return
+	}
+	if errors.Is(err, ErrPoolSaturated) {
 		return
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -746,10 +863,15 @@ func (p *Pool) countCancelled(err error) {
 // rebuild replaces a Searcher whose query panicked: the old one is
 // closed on a best-effort basis (its pool protocol may be corrupted
 // mid-job, so the close runs detached and its own panic is swallowed)
-// and a fresh Searcher takes its slot. If the rebuild itself fails the
-// pool is marked broken rather than left to hang callers on a slot
-// that will never be refilled.
-func (p *Pool) rebuild(old *core.Searcher) {
+// and a fresh Searcher takes the slot in the snapshot that owned it.
+// If that snapshot was retired while the query was in flight, the slot
+// is simply forgotten (the snapshot's drain closes one fewer) — no
+// query can ever borrow from a retired epoch again. If the rebuild
+// itself fails the pool is marked broken rather than left to hang
+// callers on a slot that will never be refilled. The borrow reference
+// is released at the end, so a retired snapshot cannot begin draining
+// while its slot count is still being adjusted.
+func (p *Pool) rebuild(sn *poolSnapshot, old *core.Searcher) {
 	if p.opt.Metrics != nil {
 		p.opt.Metrics.Recovered.Add(1)
 	}
@@ -757,15 +879,22 @@ func (p *Pool) rebuild(old *core.Searcher) {
 		defer func() { _ = recover() }()
 		old.Close()
 	}()
-	s, err := core.NewSearcher(p.g, p.searchOpt)
-	if err != nil {
-		p.mu.Lock()
-		p.live--
-		p.broken = fmt.Errorf("mcbfs: rebuilding Searcher after panic: %w", err)
-		p.mu.Unlock()
+	if sn.retired.Load() {
+		sn.live.Add(-1)
+		sn.release(p)
 		return
 	}
-	p.free <- s
+	s, err := core.NewSearcher(sn.g, sn.searchOpt)
+	if err != nil {
+		sn.live.Add(-1)
+		p.mu.Lock()
+		p.broken = fmt.Errorf("mcbfs: rebuilding Searcher after panic: %w", err)
+		p.mu.Unlock()
+		sn.release(p)
+		return
+	}
+	sn.free <- s
+	sn.release(p)
 }
 
 // err returns the pool's terminal state, if any.
@@ -784,29 +913,28 @@ func (p *Pool) errLocked() error {
 }
 
 // Close shuts the pool down: new queries fail with ErrPoolClosed,
-// waiting acquirers are released, and Close blocks until every
-// in-flight query has returned its Searcher, closing each. Close is
-// idempotent.
+// waiting acquirers are released, the serving snapshot is retired, and
+// Close blocks until every snapshot — current and still-draining past
+// epochs — has drained, closing each Searcher. Close is idempotent.
 func (p *Pool) Close() error {
+	p.swapMu.Lock()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.swapMu.Unlock()
 		return nil
 	}
 	p.closed = true
-	n := p.live
 	p.mu.Unlock()
 	close(p.closing)
+	// Retiring the serving snapshot starts its drain as soon as the last
+	// in-flight borrower returns; past epochs are already retired.
+	p.snap.Load().retire(p)
+	p.swapMu.Unlock()
 	if p.monitor != nil {
 		_ = p.monitor.Close()
 	}
-	var firstErr error
-	for i := 0; i < n; i++ {
-		s := <-p.free // waits for in-flight queries to finish
-		if err := s.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
+	p.drains.Wait()
 	if p.batchCh != nil {
 		// Every producer registered before closed was set; once they
 		// all return (replied, shed, or released by closing), no sender
@@ -815,5 +943,7 @@ func (p *Pool) Close() error {
 		close(p.batchStop)
 		p.batchWG.Wait()
 	}
-	return firstErr
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closeErr
 }

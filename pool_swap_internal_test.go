@@ -1,0 +1,64 @@
+package mcbfs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mcbfs/internal/core"
+)
+
+// TestSwapClosesOldSearchers proves the drain actually tears the old
+// epoch down: every Searcher the retired snapshot owned reports Closed
+// once the drain completes. This needs package-internal access to the
+// snapshot's free channel, so it lives in package mcbfs.
+func TestSwapClosesOldSearchers(t *testing.T) {
+	g, err := GridGraph(16, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(g, PoolOptions{Size: 2, Search: Options{Threads: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Capture the old epoch's Searchers while the pool is idle: pop
+	// them all, remember the pointers, put them back.
+	old := pool.snap.Load()
+	var searchers []*core.Searcher
+	for i := 0; i < pool.size; i++ {
+		searchers = append(searchers, <-old.free)
+	}
+	for _, s := range searchers {
+		old.free <- s
+	}
+
+	g2, err := GridGraph(20, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Swap(g2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Draining() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("old snapshot never finished draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, s := range searchers {
+		if !s.Closed() {
+			t.Errorf("old epoch's Searcher %d not closed after drain", i)
+		}
+	}
+	if got := old.refs.Load(); got != 0 {
+		t.Errorf("retired snapshot still holds %d references", got)
+	}
+
+	// The new epoch serves as usual.
+	if _, err := pool.Query(context.Background(), 0); err != nil {
+		t.Errorf("query on new epoch: %v", err)
+	}
+}
