@@ -826,3 +826,92 @@ func BenchmarkAblationVertexOrder(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationLoadBalance isolates degree-aware scheduling: each
+// parallel tier runs warm searches over a skewed R-MAT graph with
+// edge-budgeted chunking + hub splitting on (the auto budget) and off
+// (legacy fixed-size vertex chunks). The delta is the load-balance win;
+// sub-benchmarks also assert the warm path stays allocation-free with
+// the hub board wired in.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	scale := 20
+	if testing.Short() {
+		scale = 16
+	}
+	g := benchRMAT(b, scale, int64(16)<<scale)
+
+	var roots []graph.Vertex
+	for v := 0; v < g.NumVertices() && len(roots) < 16; v += 131 {
+		if g.Degree(graph.Vertex(v)) > 0 {
+			roots = append(roots, graph.Vertex(v))
+		}
+	}
+	if len(roots) == 0 {
+		b.Fatal("no non-isolated roots")
+	}
+
+	tiers := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"parallel-simple", core.Options{Algorithm: core.AlgParallelSimple, Threads: 4}},
+		{"single-socket", core.Options{Algorithm: core.AlgSingleSocket, Threads: 4}},
+		{"multi-socket", core.Options{Algorithm: core.AlgMultiSocket, Threads: 4,
+			Machine: topology.Generic(2, 2, 1)}},
+		{"hybrid", core.Options{Algorithm: core.AlgDirectionOptimizing, Threads: 4}},
+	}
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"budget=on", 0}, // auto: max(1024, avg-degree × chunk size)
+		{"budget=off", core.EdgeBudgetOff},
+	}
+	for _, tier := range tiers {
+		for _, bud := range budgets {
+			b.Run(tier.name+"/"+bud.name, func(b *testing.B) {
+				opt := tier.opt
+				opt.EdgeBudget = bud.budget
+				s, err := core.NewSearcher(g, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				if _, err := s.BFS(roots[0]); err != nil { // absorb the cold search
+					b.Fatal(err)
+				}
+				// The warm path must reach a zero-alloc steady state:
+				// scratch, hub board, and partition tables live in the
+				// Searcher, but the unbounded inter-socket channels grow
+				// to a steal-pattern-dependent segment high-water mark
+				// over the first few searches before recirculating. Give
+				// them a bounded number of searches to get there.
+				steady := false
+				for attempt := 0; attempt < 6 && !steady; attempt++ {
+					steady = testing.AllocsPerRun(2, func() {
+						if _, err := s.BFS(roots[1%len(roots)]); err != nil {
+							b.Fatal(err)
+						}
+					}) == 0
+				}
+				if !steady {
+					b.Fatal("warm searches still allocating after 6 settle rounds, want steady-state 0")
+				}
+				var edges int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					res, err := s.BFS(roots[i%len(roots)])
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges += res.EdgesTraversed
+				}
+				if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+					b.ReportMetric(float64(edges)/elapsed/1e6, "ME/s")
+				}
+			})
+		}
+	}
+}

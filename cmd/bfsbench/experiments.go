@@ -31,6 +31,10 @@ type harnessConfig struct {
 	// vertex ordering (-order); the reorder time is reported on its own
 	// line, never folded into setup or query time.
 	Order graph.Ordering
+	// EdgeBudget configures degree-aware frontier scheduling for the
+	// measured library runs (-edge-budget): 0 auto, -1 off, positive
+	// an explicit per-chunk adjacency allowance.
+	EdgeBudget int64
 }
 
 func (c harnessConfig) sim() bool      { return c.Mode == "sim" || c.Mode == "both" }

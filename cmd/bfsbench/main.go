@@ -59,6 +59,7 @@ func main() {
 		outPath   = flag.String("o", "", "write output to this file instead of stdout")
 		buildPar  = flag.Int("build-threads", 0, "CSR construction worker count (0 = GOMAXPROCS)")
 		order     = flag.String("order", "natural", "with -searches: vertex ordering applied to the measured graph (natural, degree, dbg, rcm); reorder time reported separately")
+		edgeBud   = flag.Int64("edge-budget", 0, "degree-aware frontier scheduling for measured runs: 0 = auto budget, -1 = off (fixed 128-vertex chunks), >0 = explicit per-chunk edge budget")
 	)
 	flag.Parse()
 
@@ -73,11 +74,12 @@ func main() {
 	}
 
 	cfg := harnessConfig{
-		Mode:  *mode,
-		Scale: *scale,
-		Seed:  *seed,
-		Short: *short,
-		Order: ordering,
+		Mode:       *mode,
+		Scale:      *scale,
+		Seed:       *seed,
+		Short:      *short,
+		Order:      ordering,
+		EdgeBudget: *edgeBud,
 	}
 	if cfg.Mode != "sim" && cfg.Mode != "measured" && cfg.Mode != "both" {
 		fmt.Fprintf(os.Stderr, "bfsbench: unknown mode %q\n", cfg.Mode)

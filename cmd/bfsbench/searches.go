@@ -74,7 +74,8 @@ func runSearches(w io.Writer, cfg harnessConfig, searches, batchWidth int) error
 	}
 
 	setupStart := time.Now()
-	s, err := core.NewSearcher(g, core.Options{Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd})
+	s, err := core.NewSearcher(g, core.Options{Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd,
+		EdgeBudget: cfg.EdgeBudget})
 	if err != nil {
 		return err
 	}
@@ -239,7 +240,8 @@ func runClientSearches(w io.Writer, cfg harnessConfig, searches, clients, poolSi
 	setupStart := time.Now()
 	popt := mcbfs.PoolOptions{
 		Size:      poolSize,
-		Search:    mcbfs.Options{Threads: threads, Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd},
+		Search: mcbfs.Options{Threads: threads, Tracer: cfg.Tracer, Ordering: cfg.Order, Reordered: rd,
+			EdgeBudget: cfg.EdgeBudget},
 		Metrics:   &serving,
 		Telemetry: cfg.Telemetry,
 	}

@@ -100,8 +100,36 @@ type Options struct {
 	// amortizes the ticket lock to ~30 ns/vertex). 0 means 64.
 	BatchSize int
 	// ChunkSize is the number of vertices a worker claims from the
-	// current queue per atomic operation. 0 means 128.
+	// current queue per atomic operation. 0 means 128. With edge
+	// budgeting active (see EdgeBudget) it caps the vertex count of a
+	// budgeted chunk, so low-degree stretches of the frontier still move
+	// in cheap batches.
 	ChunkSize int
+	// EdgeBudget makes frontier scheduling degree-aware in the parallel
+	// tiers: workers claim chunks whose summed out-degree stays within
+	// the budget rather than a fixed vertex count, a vertex whose degree
+	// alone exceeds it is split into edge-range sub-tasks expanded by
+	// several workers, and an early-finishing multi-socket worker steals
+	// budgeted chunks from the busiest sibling socket's queue. The
+	// direction-optimizing bottom-up sweep and the MS-BFS frontier scan
+	// partition by edge prefix sums under the same flag.
+	//
+	// 0 picks an automatic budget from the graph's average degree and
+	// ChunkSize (the default). A positive value sets the budget in
+	// adjacency entries. EdgeBudgetOff (any negative value) disables
+	// edge-aware scheduling entirely, restoring fixed vertex-count
+	// chunks — the ablation baseline. Very small budgets classify many
+	// vertices as hubs and cost one pooled cache line per hub for the
+	// session's lifetime.
+	EdgeBudget int64
+	// HybridAlpha and HybridBeta are the direction-optimizing switch
+	// thresholds (Beamer's alpha/beta rule): a top-down level switches
+	// to bottom-up when the next frontier exceeds n/HybridAlpha
+	// vertices, and back to top-down when it falls below n/HybridBeta.
+	// 0 means the defaults (14 and 24); negative values are rejected.
+	// Larger values make the respective switch happen sooner.
+	HybridAlpha int
+	HybridBeta  int
 	// LocalBatch is the number of vertices buffered before a batched
 	// push to the local next queue. 0 means 64.
 	LocalBatch int
@@ -191,6 +219,12 @@ func (o Options) withDefaults() Options {
 	if o.LocalBatch <= 0 {
 		o.LocalBatch = 64
 	}
+	if o.HybridAlpha == 0 {
+		o.HybridAlpha = defaultHybridAlpha
+	}
+	if o.HybridBeta == 0 {
+		o.HybridBeta = defaultHybridBeta
+	}
 	if o.Algorithm == AlgAuto {
 		switch {
 		case o.Threads == 1:
@@ -202,6 +236,42 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	return o
+}
+
+// EdgeBudgetOff disables edge-aware frontier scheduling (see
+// Options.EdgeBudget); any negative value works, this one is the
+// readable spelling.
+const EdgeBudgetOff = -1
+
+// autoEdgeBudgetFloor bounds the automatic edge budget from below so
+// that near-edgeless graphs do not degenerate into per-vertex claims.
+const autoEdgeBudgetFloor = 1024
+
+// resolveEdgeBudget turns Options.EdgeBudget into the session's
+// effective budget: 0 means off, positive is the per-chunk adjacency
+// allowance. The automatic choice targets ChunkSize average-degree
+// vertices per chunk — on uniform graphs that reproduces the legacy
+// vertex-count chunking almost exactly, while on skewed graphs it cuts
+// chunks early around hubs.
+func resolveEdgeBudget(o Options, g *graph.Graph) int64 {
+	if o.EdgeBudget < 0 {
+		return 0
+	}
+	if o.EdgeBudget > 0 {
+		return o.EdgeBudget
+	}
+	n := g.NumVertices()
+	avg := int64(1)
+	if n > 0 {
+		if a := g.NumEdges() / int64(n); a > 1 {
+			avg = a
+		}
+	}
+	b := avg * int64(o.ChunkSize)
+	if b < autoEdgeBudgetFloor {
+		b = autoEdgeBudgetFloor
+	}
+	return b
 }
 
 // LevelStats records one BFS level's instrumentation.
@@ -216,6 +286,15 @@ type LevelStats struct {
 	AtomicOps int64
 	// RemoteSends counts tuples sent over inter-socket channels.
 	RemoteSends int64
+	// MaxWorkerEdges is the largest per-worker share of Edges in the
+	// level — the load-imbalance numerator. A perfectly balanced level
+	// has MaxWorkerEdges ≈ Edges/threads; the ratio of the two is the
+	// imbalance factor reported by bfsbench -breakdown and /debug/bfs.
+	MaxWorkerEdges int64
+	// Steals counts frontier chunks claimed from a sibling socket's
+	// queue by an early-finishing worker (multi-socket tier with edge
+	// budgeting only).
+	Steals int64
 	// Duration is the wall-clock time of the level, stamped by the
 	// level coordinator (and therefore inclusive of both phases and the
 	// barriers).

@@ -30,11 +30,12 @@ import (
 // which is typically far below the m_a of a top-down run — that gap IS
 // the optimization.
 
-// hybridAlpha switches to bottom-up when the frontier exceeds
-// n/hybridAlpha vertices; hybridBeta switches back below n/hybridBeta.
+// The default alpha/beta thresholds: switch to bottom-up when the
+// frontier exceeds n/alpha vertices, back below n/beta. Tunable per
+// session via Options.HybridAlpha / Options.HybridBeta.
 const (
-	hybridAlpha = 14
-	hybridBeta  = 24
+	defaultHybridAlpha = 14
+	defaultHybridBeta  = 24
 )
 
 // hybridWorker runs the hybrid top-down/bottom-up search over the
@@ -47,6 +48,10 @@ func (s *Searcher) hybridWorker(w int) {
 	wr := s.coll.Worker(w)
 	o := &s.o
 	g, gt := s.g, s.gt
+	offs := g.Offsets()
+	tgts := g.Targets()
+	budget := s.edgeBudget
+	hubs := s.hubs
 	workers := s.workers
 	var myEdges, myReached int64
 	local := ws.local[:0]
@@ -60,11 +65,20 @@ func (s *Searcher) hybridWorker(w int) {
 	// one worker and claims itself with plain writes. Boundaries stay
 	// aligned to 64-vertex words so a worker's visited/parent updates
 	// never share a cache word's vertices with a neighbour's range.
-	words := (s.n + 63) / 64
-	myLo := words * w / workers * 64
-	myHi := words * (w + 1) / workers * 64
-	if myHi > s.n {
-		myHi = s.n
+	// With edge budgeting the boundaries come from an edge-prefix-sum
+	// partition of the transpose (s.buPart), giving each worker ~equal
+	// in-edge mass instead of ~equal vertex count; without it the
+	// legacy uniform vertex split applies.
+	var myLo, myHi int
+	if s.buPart != nil {
+		myLo, myHi = s.buPart[w], s.buPart[w+1]
+	} else {
+		words := (s.n + 63) / 64
+		myLo = words * w / workers * 64
+		myHi = words * (w + 1) / workers * 64
+		if myHi > s.n {
+			myHi = s.n
+		}
 	}
 
 	prev, limit := s.prevLimit, s.limit
@@ -141,17 +155,27 @@ func (s *Searcher) hybridWorker(w int) {
 			wr.PhaseEnd(obs.PhaseFrontierBuild, tp)
 		} else {
 			// Top-down: identical to the single-socket algorithm,
-			// including its per-chunk cancellation checkpoint.
+			// including its per-chunk cancellation checkpoint and the
+			// degree-aware claim/split/drain protocol.
 			tp := wr.PhaseStart()
 			for {
 				if s.aborted(&checkpoints) {
 					break
 				}
-				chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
-				if chunk == nil {
-					break
+				var chunk []uint32
+				if budget > 0 {
+					chunk = s.q.PopChunkEdges(o.ChunkSize, budget, limit, offs)
+				} else {
+					chunk = s.q.PopChunkBounded(o.ChunkSize, limit)
 				}
+				posted := false
 				for _, u := range chunk {
+					if hubs != nil && offs[u+1]-offs[u] > budget {
+						hubs.post(u, offs[u], offs[u+1])
+						stats.Frontier++
+						posted = true
+						continue
+					}
 					nbrs := g.Neighbors(graph.Vertex(u))
 					stats.Frontier++
 					stats.Edges += int64(len(nbrs))
@@ -172,6 +196,42 @@ func (s *Searcher) hybridWorker(w int) {
 							}
 						}
 					}
+				}
+				if hubs != nil && (posted || chunk == nil) {
+					// Drain the hub board: expand budget-sized edge
+					// ranges of posted hubs with the same double-checked
+					// claim as above.
+					did := false
+					for {
+						u, elo, ehi, ok := hubs.claim(budget)
+						if !ok {
+							break
+						}
+						did = true
+						stats.Edges += ehi - elo
+						for _, v := range tgts[elo:ehi] {
+							if !o.DisableDoubleCheck {
+								stats.BitmapReads++
+								if s.visited.Get(int(v)) {
+									continue
+								}
+							}
+							stats.AtomicOps++
+							if !s.visited.TestAndSet(int(v)) {
+								s.parents[v] = u
+								myReached++
+								local = append(local, v)
+								if len(local) == cap(local) {
+									flush()
+								}
+							}
+						}
+					}
+					if chunk == nil && !did {
+						break
+					}
+				} else if chunk == nil {
+					break
 				}
 			}
 			flush()
@@ -205,6 +265,9 @@ func (s *Searcher) hybridWorker(w int) {
 // alpha/beta direction switch.
 func (s *Searcher) advanceHybrid() {
 	s.checkCancelAtBarrier() // only ever sets done; bookkeeping proceeds
+	if s.hubs != nil {
+		s.hubs.reset()
+	}
 	if s.bottomUp.Load() {
 		// In bottom-up mode the frontier counter reflects the vertices
 		// expanded, which is the current window.
@@ -225,11 +288,11 @@ func (s *Searcher) advanceHybrid() {
 	case f == 0 || (s.maxLevels > 0 && s.levels >= s.maxLevels):
 		s.done.Store(true)
 	case s.bottomUp.Load():
-		if f < int64(s.n/hybridBeta) {
+		if f < int64(s.n/s.o.HybridBeta) {
 			s.bottomUp.Store(false)
 		}
 	default:
-		if f > int64(s.n/hybridAlpha) {
+		if f > int64(s.n/s.o.HybridAlpha) {
 			s.bottomUp.Store(true)
 		}
 	}

@@ -176,3 +176,49 @@ func TestDirectionOptimizingString(t *testing.T) {
 		t.Errorf("String = %q", AlgDirectionOptimizing.String())
 	}
 }
+
+func TestHybridKnobsProduceValidTrees(t *testing.T) {
+	// Extreme switch thresholds force degenerate policies — alpha=1
+	// flips to bottom-up almost immediately, a huge beta makes the
+	// return to top-down very late — and every one of them must still
+	// deliver a correct tree with the reference vertex count.
+	knobs := []struct {
+		name        string
+		alpha, beta int
+	}{
+		{"eager-bottom-up", 1, 2},
+		{"sticky-bottom-up", 2, 1 << 20},
+		{"reluctant", 1 << 20, 1 << 30},
+		{"custom-moderate", 7, 48},
+	}
+	for _, f := range hybridFamilies(t) {
+		ref := run(t, f.g, f.root, Options{Algorithm: AlgSequential})
+		for _, k := range knobs {
+			res := run(t, f.g, f.root, Options{
+				Algorithm:   AlgDirectionOptimizing,
+				Threads:     4,
+				HybridAlpha: k.alpha,
+				HybridBeta:  k.beta,
+			})
+			validate(t, f.g, res)
+			if res.Reached != ref.Reached {
+				t.Errorf("%s/%s: Reached = %d, want %d", f.name, k.name, res.Reached, ref.Reached)
+			}
+			if res.Levels != ref.Levels {
+				t.Errorf("%s/%s: Levels = %d, want %d", f.name, k.name, res.Levels, ref.Levels)
+			}
+		}
+	}
+}
+
+func TestHybridKnobsRejectNegatives(t *testing.T) {
+	g := must(gen.Chain(10))
+	for _, o := range []Options{
+		{Algorithm: AlgDirectionOptimizing, HybridAlpha: -1},
+		{Algorithm: AlgDirectionOptimizing, HybridBeta: -3},
+	} {
+		if _, err := NewSearcher(g, o); err == nil {
+			t.Errorf("NewSearcher(%+v) accepted a negative hybrid knob", o)
+		}
+	}
+}

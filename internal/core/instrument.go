@@ -8,10 +8,13 @@ import (
 )
 
 // statSlot is one worker's counter deposit, padded so adjacent workers
-// never share a cache line.
+// never share a cache line. The pad is never zero-length: a trailing
+// zero-size field would make Go grow the struct by an alignment unit
+// anyway (to keep past-the-end pointers in bounds), breaking the
+// multiple-of-64 invariant exactly when LevelStats fills a line.
 type statSlot struct {
 	LevelStats
-	_ [(64 - unsafe.Sizeof(LevelStats{})%64) % 64]byte
+	_ [64 - unsafe.Sizeof(LevelStats{})%64]byte
 }
 
 // statsCollector gathers per-worker LevelStats without atomic traffic in
@@ -74,6 +77,7 @@ func (c *statsCollector) add(w int, s LevelStats) {
 	slot.BitmapReads += s.BitmapReads
 	slot.AtomicOps += s.AtomicOps
 	slot.RemoteSends += s.RemoteSends
+	slot.Steals += s.Steals
 }
 
 // creditFrontier adds f to worker 0's frontier count for the level in
@@ -102,6 +106,12 @@ func (c *statsCollector) fold(dst *[]LevelStats, levelDur time.Duration) {
 		total.BitmapReads += s.BitmapReads
 		total.AtomicOps += s.AtomicOps
 		total.RemoteSends += s.RemoteSends
+		total.Steals += s.Steals
+		// The straggler's edge share: the numerator of the level's
+		// load-imbalance factor (mean share is Edges over workers).
+		if s.Edges > total.MaxWorkerEdges {
+			total.MaxWorkerEdges = s.Edges
+		}
 		*s = LevelStats{}
 	}
 	if c.enabled {
@@ -123,10 +133,12 @@ func (c *statsCollector) foldPhases(more bool) {
 	}
 	t := c.pendingTotal
 	c.rec.EndLevel(c.pendingStart, t.Duration, obs.Counters{
-		Frontier:    t.Frontier,
-		Edges:       t.Edges,
-		BitmapReads: t.BitmapReads,
-		AtomicOps:   t.AtomicOps,
-		RemoteSends: t.RemoteSends,
+		Frontier:       t.Frontier,
+		Edges:          t.Edges,
+		BitmapReads:    t.BitmapReads,
+		AtomicOps:      t.AtomicOps,
+		RemoteSends:    t.RemoteSends,
+		MaxWorkerEdges: t.MaxWorkerEdges,
+		Steals:         t.Steals,
 	}, more)
 }

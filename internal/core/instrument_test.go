@@ -29,8 +29,9 @@ func TestStatsCollectorFoldMultiWorker(t *testing.T) {
 		t.Fatalf("fold appended %d entries, want 1", len(dst))
 	}
 	got := dst[0]
+	// Worker 2's 40 edges are the level's straggler share.
 	want := LevelStats{Frontier: 7, Edges: 75, BitmapReads: 56, AtomicOps: 14, RemoteSends: 7,
-		Duration: 7 * time.Millisecond}
+		MaxWorkerEdges: 40, Duration: 7 * time.Millisecond}
 	if got != want {
 		t.Errorf("fold = %+v, want %+v", got, want)
 	}
@@ -51,7 +52,7 @@ func TestStatsCollectorSlotsClearedBetweenLevels(t *testing.T) {
 	if len(dst) != 2 {
 		t.Fatalf("fold appended %d entries, want 2", len(dst))
 	}
-	want := LevelStats{Frontier: 1, Edges: 2, BitmapReads: 3, Duration: 2 * time.Millisecond}
+	want := LevelStats{Frontier: 1, Edges: 2, BitmapReads: 3, MaxWorkerEdges: 2, Duration: 2 * time.Millisecond}
 	if dst[1] != want {
 		t.Errorf("level 1 fold = %+v, want %+v (stale slot data?)", dst[1], want)
 	}

@@ -78,6 +78,14 @@ type BatchOptions struct {
 	// Metrics, when non-nil, receives the batch counters
 	// (BatchTraversals, BatchLanes, BatchEdges, BatchLaneEdges).
 	Metrics *obs.Metrics
+	// EdgeBudget selects the worker partition of the frontier vectors:
+	// 0 or positive (the default) splits [0, n) by edge prefix sums so
+	// each worker's scan range carries ~equal adjacency mass; a
+	// negative value (core.EdgeBudgetOff) restores the legacy uniform
+	// vertex split. MS-BFS scans its whole range every level, so the
+	// partition is static and the budget's magnitude is irrelevant —
+	// only its sign participates, mirroring Options.EdgeBudget.
+	EdgeBudget int64
 	// Ordering and Reordered select a locality-optimized vertex
 	// relabeling exactly as for Options: the traversal runs on the
 	// relabeled graph, roots are translated in, and every extraction
@@ -139,6 +147,10 @@ type BatchSearcher struct {
 	n       int
 	width   int // lane capacity; stride of parents
 	workers int
+
+	// bounds is the edge-prefix-sum worker partition of [0, n] (nil
+	// under BatchOptions.EdgeBudget < 0, selecting the uniform split).
+	bounds []int
 
 	seen      *bitmap.Lanes
 	visit     *bitmap.Lanes
@@ -255,6 +267,9 @@ func NewBatchSearcher(g *graph.Graph, opt BatchOptions) (*BatchSearcher, error) 
 	for w := range b.ws {
 		b.ws[w].tbuf = make([]uint32, 0, 64)
 	}
+	if o.EdgeBudget >= 0 && b.workers > 1 {
+		b.bounds = graph.EdgePartition(workGraph.Offsets(), b.workers, 1)
+	}
 	b.res = BatchResult{
 		b:       b,
 		Roots:   make([]graph.Vertex, 0, o.Width),
@@ -305,8 +320,14 @@ func (b *BatchSearcher) runJob(kind jobKind) {
 	b.gate.wait()
 }
 
-// vertexRange is worker w's static share of the frontier vectors.
+// vertexRange is worker w's static share of the frontier vectors:
+// edge-balanced boundaries when BatchOptions.EdgeBudget permits (the
+// default), the uniform vertex split otherwise. Lane words are one per
+// vertex, so no word alignment is needed.
 func (b *BatchSearcher) vertexRange(w int) (lo, hi int) {
+	if b.bounds != nil {
+		return b.bounds[w], b.bounds[w+1]
+	}
 	return b.n * w / b.workers, b.n * (w + 1) / b.workers
 }
 

@@ -38,6 +38,10 @@ func (s *Searcher) multiSocketWorker(w int) {
 	wr := s.coll.Worker(w)
 	o := &s.o
 	g := s.g
+	offs := g.Offsets()
+	tgts := g.Targets()
+	budget := s.edgeBudget
+	hubs := s.hubs
 	var myEdges, myReached int64
 	this := o.Machine.SocketOfThread(w, s.workers)
 	myQ := s.qs[this]
@@ -81,11 +85,33 @@ func (s *Searcher) multiSocketWorker(w int) {
 			if s.aborted(&checkpoints) {
 				break
 			}
-			chunk := myQ.PopChunkBounded(o.ChunkSize, limit)
-			if chunk == nil {
-				break
+			var chunk []uint32
+			if budget > 0 {
+				chunk = myQ.PopChunkEdges(o.ChunkSize, budget, limit, offs)
+				if chunk == nil {
+					// Own window drained: steal a budgeted chunk from
+					// the busiest sibling socket's window instead of
+					// idling at the phase barrier. The expansion below
+					// is symmetric in the expander's own socket —
+					// local targets are claimed, remote ones travel
+					// through the owner's channel — so a stolen chunk
+					// needs no special handling.
+					chunk = s.stealChunk(this)
+					if chunk != nil {
+						stats.Steals++
+					}
+				}
+			} else {
+				chunk = myQ.PopChunkBounded(o.ChunkSize, limit)
 			}
+			posted := false
 			for _, u := range chunk {
+				if hubs != nil && offs[u+1]-offs[u] > budget {
+					hubs.post(u, offs[u], offs[u+1])
+					stats.Frontier++
+					posted = true
+					continue
+				}
 				nbrs := g.Neighbors(graph.Vertex(u))
 				stats.Frontier++
 				stats.Edges += int64(len(nbrs))
@@ -103,6 +129,37 @@ func (s *Searcher) multiSocketWorker(w int) {
 						remote[sck] = remote[sck][:0]
 					}
 				}
+			}
+			if hubs != nil && (posted || chunk == nil) {
+				// Drain the hub board with the claim-or-send expansion.
+				did := false
+				for {
+					u, elo, ehi, ok := hubs.claim(budget)
+					if !ok {
+						break
+					}
+					did = true
+					stats.Edges += ehi - elo
+					for _, v := range tgts[elo:ehi] {
+						sck := s.part.DetermineSocket(v)
+						if sck == this {
+							claim(v, u, &stats)
+							continue
+						}
+						stats.RemoteSends++
+						remote[sck] = append(remote[sck], queue.Tuple{V: v, Parent: u})
+						if len(remote[sck]) == cap(remote[sck]) {
+							s.channels[sck].SendBatch(remote[sck])
+							wr.RemoteBatch(sck, len(remote[sck]))
+							remote[sck] = remote[sck][:0]
+						}
+					}
+				}
+				if chunk == nil && !did {
+					break
+				}
+			} else if chunk == nil {
+				break
 			}
 		}
 		// End-of-phase flush of the partial batches, skipping empty
@@ -177,12 +234,48 @@ func (s *Searcher) multiSocketWorker(w int) {
 	}
 }
 
+// stealChunk claims one edge-budgeted chunk from the current-level
+// window of the sibling socket queue with the most unconsumed work.
+// It rescans on a lost race — the head cursors are monotone within a
+// level, so every retry sees strictly less remaining work and the loop
+// terminates. Returns nil when every sibling window is drained.
+//
+// Stealing only moves which worker *expands* a frontier vertex; the
+// discovered children still go through claim-or-send, so data ownership
+// (parents, bitmap, channels) is untouched and phase-2 drains behave
+// exactly as without stealing. The sockLimit entries are written by the
+// level coordinator and published by the barrier, so reading them here
+// is race-free.
+func (s *Searcher) stealChunk(this int) []uint32 {
+	offs := s.g.Offsets()
+	for {
+		best, bestRem := -1, int64(0)
+		for sck, q := range s.qs {
+			if sck == this {
+				continue
+			}
+			if rem := s.sockLimit[sck] - q.Head(); rem > bestRem {
+				best, bestRem = sck, rem
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if chunk := s.qs[best].PopChunkEdges(s.o.ChunkSize, s.edgeBudget, s.sockLimit[best], offs); chunk != nil {
+			return chunk
+		}
+	}
+}
+
 // advanceMulti is the multi-socket level transition, run by the
 // coordinator elected at the closing barrier: sample the channels (no
 // sends are in flight between the barriers, so the per-level deltas are
 // exact), advance every socket's queue window, decide termination.
 func (s *Searcher) advanceMulti() {
 	s.checkCancelAtBarrier() // only ever sets done; bookkeeping proceeds
+	if s.hubs != nil {
+		s.hubs.reset()
+	}
 	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
 	s.levelStart = time.Now()
 	if s.chanStats && s.coll != nil {

@@ -92,6 +92,15 @@ type Searcher struct {
 	visited  *bitmap.Atomic
 	frontier *bitmap.Atomic // direction-optimizing tier only (lazy)
 
+	// Degree-aware scheduling (Options.EdgeBudget): edgeBudget is the
+	// session's effective per-chunk adjacency allowance (0 = off), hubs
+	// the shared over-budget-vertex split board, and buPart the
+	// edge-prefix-sum bottom-up partition of the transpose (lazy with
+	// the direction-optimizing tier, 64-aligned boundaries).
+	edgeBudget int64
+	hubs       *hubBoard
+	buPart     []int
+
 	// Ordering translation layer (Options.Ordering / Options.Reordered):
 	// the session searches a relabeled copy of the caller's graph, so s.g
 	// is the relabeled CSR, perm maps caller ids into it, inv maps back,
@@ -193,6 +202,10 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
 	}
+	if o.HybridAlpha < 0 || o.HybridBeta < 0 {
+		return nil, fmt.Errorf("core: HybridAlpha/HybridBeta must be positive (got %d/%d)",
+			opt.HybridAlpha, opt.HybridBeta)
+	}
 	n := g.NumVertices()
 	rd := o.Reordered
 	if rd == nil && o.Ordering != graph.OrderNatural {
@@ -231,6 +244,12 @@ func NewSearcher(g *graph.Graph, opt Options) (*Searcher, error) {
 	}
 	if perm != nil {
 		s.extParents = newParents(n)
+	}
+	s.edgeBudget = resolveEdgeBudget(o, workGraph)
+	if s.edgeBudget > 0 && s.workers > 1 {
+		// With one worker there is nobody to share a split hub with, so
+		// the board is skipped and over-budget vertices expand inline.
+		s.hubs = newHubBoard(workGraph, s.edgeBudget)
 	}
 	for w := range s.ws {
 		s.ws[w].local = make([]uint32, 0, o.LocalBatch)
@@ -288,6 +307,13 @@ func (s *Searcher) ensureTier(alg Algorithm) error {
 					gt = rgt
 				}
 				s.gt = gt
+			}
+			if s.edgeBudget > 0 && s.buPart == nil {
+				// Edge-prefix-sum partition of the bottom-up sweep: each
+				// worker scans ~equal in-edge mass of the transpose.
+				// 64-aligned boundaries keep a worker's plain bitmap
+				// writes word-exclusive, like the legacy uniform split.
+				s.buPart = graph.EdgePartition(s.gt.Offsets(), s.workers, 64)
 			}
 		}
 	case AlgMultiSocket:
@@ -458,6 +484,11 @@ func (s *Searcher) resetState() {
 	}
 	for _, q := range s.qs {
 		q.Reset()
+	}
+	if s.hubs != nil {
+		// A cancelled search can unwind with half-claimed hub tasks
+		// still posted; clear them so the next search starts clean.
+		s.hubs.reset()
 	}
 	s.hasTouched = false
 }

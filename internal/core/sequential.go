@@ -56,6 +56,7 @@ func (s *Searcher) sequentialSearch() (edges, reached int64) {
 		wr.PhaseEnd(obs.PhaseLocalScan, tp)
 		s.levels++
 		stats.Duration = time.Since(levelStart)
+		stats.MaxWorkerEdges = stats.Edges // one worker holds every edge
 		if s.o.Instrument {
 			s.perLevel = append(s.perLevel, stats)
 		}
@@ -69,10 +70,11 @@ func (s *Searcher) sequentialSearch() (edges, reached int64) {
 		if s.coll != nil {
 			more := limit > prev && (s.maxLevels == 0 || s.levels < s.maxLevels)
 			s.coll.EndLevel(levelStart.Sub(s.coll.Origin()), stats.Duration, obs.Counters{
-				Frontier:    stats.Frontier,
-				Edges:       stats.Edges,
-				BitmapReads: stats.BitmapReads,
-				AtomicOps:   stats.AtomicOps,
+				Frontier:       stats.Frontier,
+				Edges:          stats.Edges,
+				BitmapReads:    stats.BitmapReads,
+				AtomicOps:      stats.AtomicOps,
+				MaxWorkerEdges: stats.MaxWorkerEdges,
 			}, more)
 			wr.NextLevel()
 		}

@@ -28,6 +28,10 @@ func (s *Searcher) simpleWorker(w int) {
 	wr := s.coll.Worker(w)
 	o := &s.o
 	g := s.g
+	offs := g.Offsets()
+	tgts := g.Targets()
+	budget := s.edgeBudget
+	hubs := s.hubs
 	// Run totals stay in worker-local variables until exit so the hot
 	// loop never writes a cache line another worker's totals live on.
 	var myEdges, myReached int64
@@ -45,11 +49,22 @@ func (s *Searcher) simpleWorker(w int) {
 			if s.aborted(&checkpoints) {
 				break
 			}
-			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
-			if chunk == nil {
-				break
+			var chunk []uint32
+			if budget > 0 {
+				chunk = s.q.PopChunkEdges(o.ChunkSize, budget, limit, offs)
+			} else {
+				chunk = s.q.PopChunkBounded(o.ChunkSize, limit)
 			}
+			posted := false
 			for _, u := range chunk {
+				if hubs != nil && offs[u+1]-offs[u] > budget {
+					// Over-budget vertex: publish it for cooperative
+					// edge-range expansion instead of scanning it alone.
+					hubs.post(u, offs[u], offs[u+1])
+					stats.Frontier++
+					posted = true
+					continue
+				}
 				nbrs := g.Neighbors(graph.Vertex(u))
 				stats.Frontier++
 				stats.Edges += int64(len(nbrs))
@@ -67,6 +82,37 @@ func (s *Searcher) simpleWorker(w int) {
 						}
 					}
 				}
+			}
+			if hubs != nil && (posted || chunk == nil) {
+				// Drain the hub board — after posting (the poster
+				// guarantee that makes unready-slot skips safe) and when
+				// the queue window runs dry (so everyone helps finish
+				// the level's hubs instead of idling at the barrier).
+				did := false
+				for {
+					u, elo, ehi, ok := hubs.claim(budget)
+					if !ok {
+						break
+					}
+					did = true
+					stats.Edges += ehi - elo
+					for _, v := range tgts[elo:ehi] {
+						stats.AtomicOps++
+						if atomic.CompareAndSwapUint32(&s.parents[v], NoParent, u) {
+							myReached++
+							local = append(local, v)
+							if len(local) == cap(local) {
+								s.q.PushBatch(local)
+								local = local[:0]
+							}
+						}
+					}
+				}
+				if chunk == nil && !did {
+					break
+				}
+			} else if chunk == nil {
+				break
 			}
 		}
 		s.q.PushBatch(local)
@@ -104,6 +150,9 @@ func (s *Searcher) advanceShared() {
 	// below only ever sets done, so the abort decision stands and the
 	// obs layer still sees a coherent final level.
 	s.checkCancelAtBarrier()
+	if s.hubs != nil {
+		s.hubs.reset()
+	}
 	s.stats.fold(&s.perLevel, time.Since(s.levelStart))
 	s.levelStart = time.Now()
 	old := s.limit

@@ -30,6 +30,10 @@ func (s *Searcher) singleSocketWorker(w int) {
 	wr := s.coll.Worker(w)
 	o := &s.o
 	g := s.g
+	offs := g.Offsets()
+	tgts := g.Targets()
+	budget := s.edgeBudget
+	hubs := s.hubs
 	var myEdges, myReached int64
 	local := ws.local[:0]
 	probeHit := ws.probeHit
@@ -57,11 +61,20 @@ func (s *Searcher) singleSocketWorker(w int) {
 			if s.aborted(&checkpoints) {
 				break
 			}
-			chunk := s.q.PopChunkBounded(o.ChunkSize, limit)
-			if chunk == nil {
-				break
+			var chunk []uint32
+			if budget > 0 {
+				chunk = s.q.PopChunkEdges(o.ChunkSize, budget, limit, offs)
+			} else {
+				chunk = s.q.PopChunkBounded(o.ChunkSize, limit)
 			}
+			posted := false
 			for _, u := range chunk {
+				if hubs != nil && offs[u+1]-offs[u] > budget {
+					hubs.post(u, offs[u], offs[u+1])
+					stats.Frontier++
+					posted = true
+					continue
+				}
 				nbrs := g.Neighbors(graph.Vertex(u))
 				stats.Frontier++
 				stats.Edges += int64(len(nbrs))
@@ -100,6 +113,35 @@ func (s *Searcher) singleSocketWorker(w int) {
 					}
 					claim(v, u, &stats)
 				}
+			}
+			if hubs != nil && (posted || chunk == nil) {
+				// Drain the hub board with the double-checked claim.
+				// Hub ranges skip the software-pipelined probe path:
+				// they are already contiguous adjacency runs, so the
+				// probe stream gets its locality from the range itself.
+				did := false
+				for {
+					u, elo, ehi, ok := hubs.claim(budget)
+					if !ok {
+						break
+					}
+					did = true
+					stats.Edges += ehi - elo
+					for _, v := range tgts[elo:ehi] {
+						if !o.DisableDoubleCheck {
+							stats.BitmapReads++
+							if s.visited.Get(int(v)) {
+								continue
+							}
+						}
+						claim(v, u, &stats)
+					}
+				}
+				if chunk == nil && !did {
+					break
+				}
+			} else if chunk == nil {
+				break
 			}
 		}
 		s.q.PushBatch(local)

@@ -17,8 +17,11 @@ func sampleWithLevels(d time.Duration, levels int) QuerySample {
 		Algorithm: "single-socket",
 	}
 	for l := 0; l < levels; l++ {
-		lb := LevelBreakdown{Level: l, Duration: d / time.Duration(levels)}
+		lb := LevelBreakdown{Level: l, Duration: d / time.Duration(levels), Workers: 2}
 		lb.Phases[PhaseLocalScan] = d / time.Duration(levels+1)
+		lb.Edges = 100
+		lb.MaxWorkerEdges = 75 // 1.5× the 2-worker mean
+		lb.Steals = 3
 		s.PerLevel = append(s.PerLevel, lb)
 	}
 	return s

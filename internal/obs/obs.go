@@ -82,6 +82,13 @@ type Counters struct {
 	BitmapReads int64
 	AtomicOps   int64
 	RemoteSends int64
+	// MaxWorkerEdges is the largest single worker's share of Edges —
+	// the numerator of the level's load-imbalance factor
+	// (MaxWorkerEdges · workers / Edges; 1.0 is perfect balance).
+	MaxWorkerEdges int64
+	// Steals counts chunks claimed from sibling socket queues by
+	// early-finishing workers (multi-socket tier, edge budgeting on).
+	Steals int64
 }
 
 // LevelBreakdown is one level's folded observability record: the
@@ -90,6 +97,11 @@ type Counters struct {
 // runs).
 type LevelBreakdown struct {
 	Level int
+	// Workers is the number of workers that ran the level — the
+	// denominator that turns MaxWorkerEdges into an imbalance factor
+	// (stamped by EndLevel, so breakdowns detached from their Trace,
+	// e.g. in the flight recorder, remain self-contained).
+	Workers int
 	// Start is the level's offset from the start of the run; Duration
 	// its wall-clock time as stamped by the level coordinator.
 	Start    time.Duration
@@ -101,6 +113,18 @@ type LevelBreakdown struct {
 	RemoteTuples  int64
 	// Phases[p] is the total worker time spent in phase p.
 	Phases [NumPhases]time.Duration
+}
+
+// Imbalance returns the level's edge-load imbalance factor: the
+// straggler's edge share (MaxWorkerEdges) over the mean per-worker
+// share (Edges/Workers). 1.0 is perfect balance; Workers is an upper
+// bound (one worker scanned everything). Zero when the level carries no
+// edges or the breakdown predates imbalance tracking.
+func (b *LevelBreakdown) Imbalance() float64 {
+	if b.Edges <= 0 || b.Workers <= 0 {
+		return 0
+	}
+	return float64(b.MaxWorkerEdges) * float64(b.Workers) / float64(b.Edges)
 }
 
 // ChannelSample is one level's view of one inter-socket channel.
@@ -387,7 +411,7 @@ func (c *Collector) EndLevel(start, dur time.Duration, ct Counters, more bool) {
 		return
 	}
 	par := c.level & 1
-	b := LevelBreakdown{Level: c.level, Start: start, Duration: dur, Counters: ct}
+	b := LevelBreakdown{Level: c.level, Workers: len(c.workers), Start: start, Duration: dur, Counters: ct}
 	for i := range c.workers {
 		ws := &c.workers[i].workerState
 		for p := Phase(0); p < NumPhases; p++ {

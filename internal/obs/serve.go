@@ -328,11 +328,17 @@ type QueryStatus struct {
 // the folded counters plus per-phase worker nanoseconds keyed by phase
 // name.
 type LevelStatus struct {
-	Level      int              `json:"level"`
-	DurationNs int64            `json:"durationNs"`
-	Frontier   int64            `json:"frontier"`
-	Edges      int64            `json:"edges"`
-	PhaseNs    map[string]int64 `json:"phaseNs"`
+	Level      int   `json:"level"`
+	DurationNs int64 `json:"durationNs"`
+	Frontier   int64 `json:"frontier"`
+	Edges      int64 `json:"edges"`
+	// MaxWorkerEdges and Imbalance expose the level's edge-load skew:
+	// the straggler worker's edge share and its ratio to the mean share
+	// (see LevelBreakdown.Imbalance).
+	MaxWorkerEdges int64            `json:"maxWorkerEdges"`
+	Imbalance      float64          `json:"imbalance"`
+	Steals         int64            `json:"steals,omitempty"`
+	PhaseNs        map[string]int64 `json:"phaseNs"`
 }
 
 // statusTopK is how many slowest queries the status page lists.
@@ -433,11 +439,14 @@ func renderRecord(rec QueryRecord) QueryStatus {
 	}
 	for _, lb := range rec.PerLevel {
 		ls := LevelStatus{
-			Level:      lb.Level,
-			DurationNs: int64(lb.Duration),
-			Frontier:   lb.Frontier,
-			Edges:      lb.Edges,
-			PhaseNs:    make(map[string]int64, NumPhases),
+			Level:          lb.Level,
+			DurationNs:     int64(lb.Duration),
+			Frontier:       lb.Frontier,
+			Edges:          lb.Edges,
+			MaxWorkerEdges: lb.MaxWorkerEdges,
+			Imbalance:      lb.Imbalance(),
+			Steals:         lb.Steals,
+			PhaseNs:        make(map[string]int64, NumPhases),
 		}
 		for p := Phase(0); p < NumPhases; p++ {
 			ls.PhaseNs[p.String()] = int64(lb.Phases[p])

@@ -203,6 +203,11 @@ func TestStatusPage(t *testing.T) {
 	if top.PerLevel[0].PhaseNs["local-scan"] <= 0 {
 		t.Errorf("per-level phase nanos missing: %+v", top.PerLevel[0])
 	}
+	// The load-balance view: straggler share, max/mean imbalance and
+	// steal count must survive into the JSON per-level records.
+	if lv := top.PerLevel[0]; lv.MaxWorkerEdges != 75 || lv.Imbalance != 1.5 || lv.Steals != 3 {
+		t.Errorf("level load-balance fields = %+v, want maxWorkerEdges=75 imbalance=1.5 steals=3", lv)
+	}
 
 	// /metrics over HTTP round-trips the text format.
 	mresp, err := srv.Client().Get(srv.URL + "/metrics")

@@ -76,7 +76,8 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{
 				"frontier": b.Frontier, "edges": b.Edges,
 				"bitmapReads": b.BitmapReads, "atomicOps": b.AtomicOps,
-				"remoteSends": b.RemoteSends,
+				"remoteSends": b.RemoteSends, "maxWorkerEdges": b.MaxWorkerEdges,
+				"steals": b.Steals, "imbalance": b.Imbalance(),
 			},
 		})
 	}
@@ -120,14 +121,19 @@ func (t *Trace) levelByIndex(level int) *LevelBreakdown {
 
 // WriteBreakdown writes the per-level phase table in the style of the
 // paper's per-level figures: each phase column is the share of total
-// worker time (Workers × level duration) spent in that phase.
+// worker time (Workers × level duration) spent in that phase, and imb
+// is the edge-load imbalance factor (straggler's edge share over the
+// mean share; 1.00 is perfect balance). The total row's imb divides the
+// per-level stragglers' summed edges — the traversal's critical path —
+// by the mean, which is what the level barriers actually serialize on.
 func (t *Trace) WriteBreakdown(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%-6s %-12s %-10s %-12s %6s %7s %8s %7s %8s  %s\n",
-		"level", "duration", "frontier", "edges",
+	if _, err := fmt.Fprintf(w, "%-6s %-12s %-10s %-12s %5s %6s %6s %7s %8s %7s %8s  %s\n",
+		"level", "duration", "frontier", "edges", "imb", "steals",
 		"scan%", "drain%", "barrier%", "build%", "bottomup%", "remote"); err != nil {
 		return err
 	}
 	var tot LevelBreakdown
+	tot.Workers = t.Workers
 	for _, b := range t.Levels {
 		if err := t.writeBreakdownRow(w, fmt.Sprintf("%d", b.Level), b); err != nil {
 			return err
@@ -135,6 +141,8 @@ func (t *Trace) WriteBreakdown(w io.Writer) error {
 		tot.Duration += b.Duration
 		tot.Frontier += b.Frontier
 		tot.Edges += b.Edges
+		tot.MaxWorkerEdges += b.MaxWorkerEdges
+		tot.Steals += b.Steals
 		tot.RemoteTuples += b.RemoteTuples
 		tot.RemoteBatches += b.RemoteBatches
 		for p := range tot.Phases {
@@ -152,8 +160,9 @@ func (t *Trace) writeBreakdownRow(w io.Writer, label string, b LevelBreakdown) e
 		}
 		return 100 * float64(b.Phases[p]) / workerTime
 	}
-	_, err := fmt.Fprintf(w, "%-6s %-12s %-10d %-12d %6.1f %7.1f %8.1f %7.1f %8.1f  %d\n",
+	_, err := fmt.Fprintf(w, "%-6s %-12s %-10d %-12d %5.2f %6d %6.1f %7.1f %8.1f %7.1f %8.1f  %d\n",
 		label, b.Duration.Round(time.Microsecond), b.Frontier, b.Edges,
+		b.Imbalance(), b.Steals,
 		pct(PhaseLocalScan), pct(PhaseQueueDrain), pct(PhaseBarrierWait),
 		pct(PhaseFrontierBuild), pct(PhaseBottomUpScan), b.RemoteTuples)
 	return err

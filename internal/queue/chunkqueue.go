@@ -1,6 +1,9 @@
 package queue
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // ChunkQueue is the shared vertex queue of the BFS (the paper's CQ and
 // NQ). It is a fixed-capacity array of vertex ids with two atomic
@@ -40,7 +43,8 @@ func (q *ChunkQueue) PushBatch(vals []uint32) {
 	}
 	end := q.tail.Add(int64(len(vals)))
 	if end > int64(len(q.buf)) {
-		panic("queue: ChunkQueue overflow")
+		panic(fmt.Sprintf("queue: ChunkQueue overflow pushing %d: head=%d tail=%d cap=%d",
+			len(vals), q.head.Load(), end-int64(len(vals)), len(q.buf)))
 	}
 	copy(q.buf[end-int64(len(vals)):end], vals)
 }
@@ -49,7 +53,8 @@ func (q *ChunkQueue) PushBatch(vals []uint32) {
 func (q *ChunkQueue) Push(v uint32) {
 	end := q.tail.Add(1)
 	if end > int64(len(q.buf)) {
-		panic("queue: ChunkQueue overflow")
+		panic(fmt.Sprintf("queue: ChunkQueue overflow pushing 1: head=%d tail=%d cap=%d",
+			q.head.Load(), end-1, len(q.buf)))
 	}
 	q.buf[end-1] = v
 }
@@ -85,6 +90,50 @@ func (q *ChunkQueue) PopChunkBounded(max int, limit int64) []uint32 {
 		}
 	}
 }
+
+// PopChunkEdges claims up to max elements whose index is below limit,
+// additionally bounded by an adjacency budget: the chunk is cut as soon
+// as the claimed vertices' summed out-degrees (read from the CSR offsets
+// array) reach budget. It always claims at least one vertex when the
+// window is non-empty, so a vertex whose degree alone exceeds the budget
+// comes back as a single-element chunk — the caller's cue to split its
+// edge range across workers. Degrees are summed before the CAS, so a
+// lost race rescans from the new head; the head is monotone within a
+// level, making the loop ABA-free.
+func (q *ChunkQueue) PopChunkEdges(max int, budget, limit int64, offsets []int64) []uint32 {
+	if max <= 0 {
+		return nil
+	}
+	for {
+		h := q.head.Load()
+		if h >= limit {
+			return nil
+		}
+		hi := h + int64(max)
+		if hi > limit {
+			hi = limit
+		}
+		end := h + 1
+		sum := offsets[q.buf[h]+1] - offsets[q.buf[h]]
+		for end < hi && sum < budget {
+			v := q.buf[end]
+			d := offsets[v+1] - offsets[v]
+			if sum+d > budget {
+				break
+			}
+			sum += d
+			end++
+		}
+		if q.head.CompareAndSwap(h, end) {
+			return q.buf[h:end]
+		}
+	}
+}
+
+// Head returns the consume cursor: the number of elements popped (or
+// skipped) since the last Reset. Together with a level limit it tells a
+// would-be thief how much of a sibling queue's window remains.
+func (q *ChunkQueue) Head() int64 { return q.head.Load() }
 
 // SkipTo positions the consume cursor at index h, abandoning anything
 // before it. The direction-optimizing BFS uses it after bottom-up

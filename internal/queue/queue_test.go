@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -681,5 +682,157 @@ func TestTicketLockContendedYieldPath(t *testing.T) {
 	case <-acquired:
 	case <-time.After(2 * time.Second):
 		t.Fatal("waiter never acquired the lock")
+	}
+}
+
+func TestChunkQueueOverflowPanicMessage(t *testing.T) {
+	// The panic must carry the cursor state so a CI-log invariant
+	// violation is diagnosable without a reproducer.
+	check := func(name string, wantTail string, f func(q *ChunkQueue)) {
+		q := NewChunkQueue(3)
+		q.PushBatch([]uint32{1, 2})
+		q.PopChunk(1)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: overflow did not panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("%s: panic value %T, want string", name, r)
+			}
+			for _, want := range []string{"head=1", wantTail, "cap=3"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("%s: panic %q missing %q", name, msg, want)
+				}
+			}
+		}()
+		f(q)
+	}
+	check("PushBatch", "tail=2", func(q *ChunkQueue) { q.PushBatch([]uint32{7, 8}) })
+	check("Push", "tail=3", func(q *ChunkQueue) { q.PushBatch([]uint32{7}); q.Push(9) })
+}
+
+// edgeOffsets builds a CSR offsets array from per-vertex degrees.
+func edgeOffsets(degs ...int64) []int64 {
+	offs := make([]int64, len(degs)+1)
+	for i, d := range degs {
+		offs[i+1] = offs[i] + d
+	}
+	return offs
+}
+
+func TestChunkQueuePopChunkEdges(t *testing.T) {
+	offs := edgeOffsets(2, 3, 5, 100, 1, 1, 4)
+	q := NewChunkQueue(10)
+	q.PushBatch([]uint32{0, 1, 2, 3, 4, 5, 6})
+	limit := int64(q.Size())
+
+	// Budget 10 admits vertices 0..2 (2+3+5 = 10 edges) and stops.
+	if got := q.PopChunkEdges(128, 10, limit, offs); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("budgeted chunk = %v, want [0 1 2]", got)
+	}
+	// Vertex 3's degree (100) exceeds the budget alone: single-vertex
+	// chunk, never an empty claim.
+	if got := q.PopChunkEdges(128, 10, limit, offs); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("hub chunk = %v, want [3]", got)
+	}
+	// max caps the vertex count even under a roomy budget.
+	if got := q.PopChunkEdges(1, 1000, limit, offs); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("max-capped chunk = %v, want [4]", got)
+	}
+	// A partial fit stops before the vertex that would overflow.
+	if got := q.PopChunkEdges(128, 3, limit, offs); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("partial-fit chunk = %v, want [5]", got)
+	}
+	if got := q.PopChunkEdges(128, 1000, limit, offs); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("tail chunk = %v, want [6]", got)
+	}
+	if got := q.PopChunkEdges(128, 1000, limit, offs); got != nil {
+		t.Fatalf("drained window returned %v", got)
+	}
+}
+
+func TestChunkQueuePopChunkEdgesRespectsLimit(t *testing.T) {
+	offs := edgeOffsets(1, 1, 1, 1)
+	q := NewChunkQueue(4)
+	q.PushBatch([]uint32{0, 1, 2, 3})
+	if got := q.PopChunkEdges(128, 1000, 2, offs); len(got) != 2 {
+		t.Fatalf("windowed chunk = %v, want 2 elements", got)
+	}
+	if got := q.PopChunkEdges(128, 1000, 2, offs); got != nil {
+		t.Fatalf("window exhausted but got %v", got)
+	}
+	// The next window picks up exactly where the previous one ended.
+	if got := q.PopChunkEdges(128, 1000, 4, offs); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("next window = %v, want [2 3]", got)
+	}
+}
+
+func TestChunkQueuePopChunkEdgesConcurrent(t *testing.T) {
+	// Degrees vary wildly; concurrent consumers must partition the
+	// window exactly (each element claimed once) regardless of races.
+	const n = 1 << 12
+	degs := make([]int64, n)
+	for i := range degs {
+		degs[i] = int64(i % 97)
+		if i%131 == 0 {
+			degs[i] = 5000 // hubs forcing single-vertex chunks
+		}
+	}
+	offs := edgeOffsets(degs...)
+	q := NewChunkQueue(n)
+	for i := 0; i < n; i++ {
+		q.Push(uint32(i))
+	}
+	limit := int64(q.Size())
+
+	const consumers = 8
+	var wg sync.WaitGroup
+	claimed := make([][]uint32, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				chunk := q.PopChunkEdges(64, 1000, limit, offs)
+				if chunk == nil {
+					return
+				}
+				claimed[c] = append(claimed[c], chunk...)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make([]bool, n)
+	total := 0
+	for _, ch := range claimed {
+		for _, v := range ch {
+			if seen[v] {
+				t.Fatalf("vertex %d claimed twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("claimed %d of %d elements", total, n)
+	}
+}
+
+func TestChunkQueueHead(t *testing.T) {
+	q := NewChunkQueue(8)
+	q.PushBatch([]uint32{1, 2, 3, 4})
+	if h := q.Head(); h != 0 {
+		t.Fatalf("Head = %d, want 0", h)
+	}
+	q.PopChunk(3)
+	if h := q.Head(); h != 3 {
+		t.Fatalf("Head after pop = %d, want 3", h)
+	}
+	q.Reset()
+	if h := q.Head(); h != 0 {
+		t.Fatalf("Head after Reset = %d, want 0", h)
 	}
 }

@@ -174,6 +174,10 @@ const (
 // NoParent marks an unvisited vertex in Result.Parents.
 const NoParent = core.NoParent
 
+// EdgeBudgetOff disables degree-aware frontier scheduling
+// (Options.EdgeBudget); see core.EdgeBudgetOff.
+const EdgeBudgetOff = core.EdgeBudgetOff
+
 // Predefined machine topologies (the paper's Table I).
 var (
 	NehalemEP = topology.NehalemEP
